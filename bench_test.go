@@ -1,0 +1,364 @@
+package hslb
+
+// The benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation section plus the §III-D/E ablations, and a set of
+// micro-benchmarks for the solver substrates. Each paper-level benchmark
+// prints the rows/series the paper reports and exports headline numbers as
+// benchmark metrics.
+//
+// Paper-level benchmarks do real work per iteration (seconds each); run
+// them as single shots:
+//
+//	go test -bench=. -benchtime=1x -benchmem .
+
+import (
+	"math/rand"
+	"testing"
+
+	"hslb/internal/cesm"
+	"hslb/internal/core"
+	"hslb/internal/experiments"
+	"hslb/internal/expr"
+	"hslb/internal/lp"
+	"hslb/internal/minlp"
+	"hslb/internal/model"
+	"hslb/internal/nls"
+	"hslb/internal/perf"
+)
+
+// ---- Table III ----
+
+func benchTable3Block(b *testing.B, name string) {
+	b.Helper()
+	var last *experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable3Block(name, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.ManualTotal, "manual-s")
+	b.ReportMetric(last.Decision.PredictedTime, "hslb-pred-s")
+	b.ReportMetric(last.Actual, "hslb-actual-s")
+	if b.N == 1 {
+		b.Logf("\n%s", experiments.Table3Report([]*experiments.Table3Result{last}))
+	}
+}
+
+func BenchmarkTable3_1Deg128(b *testing.B)  { benchTable3Block(b, "1deg-128") }
+func BenchmarkTable3_1Deg2048(b *testing.B) { benchTable3Block(b, "1deg-2048") }
+func BenchmarkTable3_8thDeg8192(b *testing.B) {
+	benchTable3Block(b, "8th-8192")
+}
+func BenchmarkTable3_8thDeg32768(b *testing.B) {
+	benchTable3Block(b, "8th-32768")
+}
+func BenchmarkTable3_8thDeg8192Unconstrained(b *testing.B) {
+	benchTable3Block(b, "8th-8192-uncon")
+}
+func BenchmarkTable3_8thDeg32768Unconstrained(b *testing.B) {
+	benchTable3Block(b, "8th-32768-uncon")
+}
+
+// ---- Figure 2 ----
+
+func BenchmarkFig2ScalingCurves(b *testing.B) {
+	var last *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig2(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	b.ReportMetric(last.Fits[cesm.ATM].R2, "atm-R2")
+	b.ReportMetric(last.Fits[cesm.ICE].R2, "ice-R2")
+	if b.N == 1 {
+		b.Logf("\n%s\n%s", last.Chart(), last.Table(104))
+	}
+}
+
+// ---- Figure 3 ----
+
+func BenchmarkFig3HighResComparison(b *testing.B) {
+	var pts []experiments.Fig3Point
+	for i := 0; i < b.N; i++ {
+		p, err := experiments.RunFig3(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = p
+	}
+	for _, p := range pts {
+		if p.TotalNodes == 32768 && !p.Constrained {
+			b.ReportMetric(p.HSLBActual, "uncon32768-actual-s")
+			b.ReportMetric(p.HumanTotal, "human32768-s")
+		}
+	}
+	if b.N == 1 {
+		b.Logf("\n%s", experiments.Fig3Table(pts))
+	}
+}
+
+// ---- Figure 4 ----
+
+func BenchmarkFig4LayoutComparison(b *testing.B) {
+	var pts []experiments.Fig4Point
+	var r2 float64
+	for i := 0; i < b.N; i++ {
+		p, r, err := experiments.RunFig4(11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts, r2 = p, r
+	}
+	b.ReportMetric(r2, "layout1-R2")
+	if b.N == 1 {
+		b.Logf("\n%s\nlayout-1 predicted-vs-experiment R² = %.4f (paper: 1.0)", experiments.Fig4Chart(pts), r2)
+	}
+}
+
+// ---- §III-E solver claims ----
+
+func BenchmarkMINLPSolve40960(b *testing.B) {
+	// The paper: "the MINLP for 40960 nodes took less than 60 seconds to
+	// solve on one core."
+	models, err := experiments.FitModels(cesm.Res1Deg, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.Spec{
+		Resolution: cesm.Res1Deg, Layout: cesm.Layout1, TotalNodes: 40960,
+		Perf: models, ConstrainOcean: true, ConstrainAtm: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveAllocation(spec, core.SolverOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSOSBranchingAblation(b *testing.B) {
+	// The paper: branching on the special-ordered sets "improved the
+	// runtime of the MINLP solver by two orders of magnitude".
+	var last *experiments.SOSAblationResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSOSAblation(512, 17, 200000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.SOSNodes), "sos-nodes")
+	b.ReportMetric(float64(last.BinaryNodes), "binary-nodes")
+	b.ReportMetric(last.BinaryElapsed.Seconds()/last.SOSElapsed.Seconds(), "speedup-x")
+	if b.N == 1 {
+		b.Logf("nodes: sos=%d binary=%d; time: sos=%v binary=%v",
+			last.SOSNodes, last.BinaryNodes, last.SOSElapsed, last.BinaryElapsed)
+	}
+}
+
+// ---- §III-D objective ablation ----
+
+func BenchmarkObjectiveAblation(b *testing.B) {
+	var last *experiments.ObjectiveAblationResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunObjectiveAblation(128, 19)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if v, ok := last.Totals[core.MinMax]; ok {
+		b.ReportMetric(v, "minmax-s")
+	}
+	if v, ok := last.Totals[core.MinSum]; ok {
+		b.ReportMetric(v, "minsum-s")
+	}
+	if b.N == 1 {
+		b.Logf("objective totals: %v", last.Totals)
+	}
+}
+
+// ---- extension: ML ice decomposition (ref [10]) ----
+
+func BenchmarkMLIceChooser(b *testing.B) {
+	var last *experiments.MLIceResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMLIce(23)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Eval.DefaultTime, "default-s")
+	b.ReportMetric(last.Eval.MLTime, "ml-s")
+	b.ReportMetric(last.Eval.OracleTime, "oracle-s")
+}
+
+// ---- §II tuning-cost comparison ----
+
+func BenchmarkTuningCost(b *testing.B) {
+	var last *experiments.TuningCostResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTuningCost(cesm.Res8thDeg, 32768, 29)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.ManualCoreHours, "manual-core-h")
+	b.ReportMetric(last.HSLBCoreHours, "hslb-core-h")
+}
+
+// ---- §IV-C node-count advice ----
+
+func BenchmarkNodeCountAdvisor(b *testing.B) {
+	models, err := experiments.FitModels(cesm.Res1Deg, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.Spec{
+		Resolution: cesm.Res1Deg, Layout: cesm.Layout1, TotalNodes: 1024,
+		Perf: models, ConstrainOcean: true, ConstrainAtm: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv, err := core.AdviseNodeCount(spec, []int{64, 128, 256, 512, 1024}, 0.7, core.SolverOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(adv.CostEfficient), "cost-efficient-nodes")
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkIntervalEval(b *testing.B) {
+	m := perf.Model{A: 27180, B: 2e-4, C: 1.05, D: 44.9}
+	e := m.Expr(expr.NamedVar(0, "n"))
+	box := []expr.Interval{{Lo: 24, Hi: 1664}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expr.EvalInterval(e, box)
+	}
+}
+
+func BenchmarkLPSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 60, 30
+	p := lp.NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.Obj[j] = rng.NormFloat64()
+		p.Upper[j] = 10
+	}
+	for k := 0; k < m; k++ {
+		coef := make([]float64, n)
+		for j := range coef {
+			coef[j] = rng.NormFloat64()
+		}
+		p.AddConstraint(coef, lp.LE, 5+rng.Float64()*20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMINLPMiniHSLB(b *testing.B) {
+	build := func() *model.Model {
+		m := model.New()
+		T := m.AddVar("T", model.Continuous, 0, 1e9)
+		n1 := m.AddVar("n1", model.Integer, 1, 64)
+		n2 := m.AddVar("n2", model.Integer, 1, 64)
+		m.AddConstraint("t1", expr.Sub(expr.Sum(expr.Div{Num: expr.C(500), Den: n1}, expr.C(5)), T), model.LE, 0)
+		m.AddConstraint("t2", expr.Sub(expr.Sum(expr.Div{Num: expr.C(300), Den: n2}, expr.C(3)), T), model.LE, 0)
+		m.AddConstraint("cap", expr.Sum(n1, n2), model.LE, 64)
+		m.SetObjective(T, model.Minimize)
+		return m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := minlp.Solve(build(), minlp.Options{Algorithm: minlp.OuterApprox})
+		if err != nil || r.Status != minlp.Optimal {
+			b.Fatalf("status %v err %v", r.Status, err)
+		}
+	}
+}
+
+func BenchmarkPerfFit(b *testing.B) {
+	truth := perf.Model{A: 27180, B: 2e-4, C: 1.05, D: 44.9}
+	ns := perf.SamplingPlan(24, 2048, 6)
+	samples := make([]perf.Sample, len(ns))
+	for i, n := range ns {
+		samples[i] = perf.Sample{Nodes: n, Time: truth.Eval(float64(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perf.Fit(samples, perf.FitOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReverseADGradient(b *testing.B) {
+	m := perf.Model{A: 27180, B: 2e-4, C: 1.05, D: 44.9}
+	e := m.Expr(expr.NamedVar(0, "n"))
+	x := []float64{104}
+	grad := make([]float64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expr.Gradient(e, x, grad)
+	}
+}
+
+func BenchmarkNLSFitQuadratic(b *testing.B) {
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x*x - 2*x + 1
+	}
+	prob := nls.CurveProblem(func(p []float64, x float64) float64 {
+		return p[0]*x*x + p[1]*x + p[2]
+	}, xs, ys, 3, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nls.Solve(prob, []float64{0, 0, 0}, nls.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCESMSimRun(b *testing.B) {
+	cfg := cesm.Config{
+		Resolution: cesm.Res1Deg, Layout: cesm.Layout1, TotalNodes: 128,
+		Alloc: cesm.Allocation{Atm: 104, Ocn: 24, Ice: 80, Lnd: 24}, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cesm.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Guard: the six Table III block names used above must exist.
+func TestBenchBlockNamesExist(t *testing.T) {
+	names := map[string]bool{}
+	for _, blk := range experiments.Table3Blocks {
+		names[blk.Name] = true
+	}
+	for _, want := range []string{
+		"1deg-128", "1deg-2048", "8th-8192", "8th-32768", "8th-8192-uncon", "8th-32768-uncon",
+	} {
+		if !names[want] {
+			t.Errorf("block %q missing", want)
+		}
+	}
+}

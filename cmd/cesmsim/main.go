@@ -1,0 +1,166 @@
+// Command cesmsim drives the CESM performance simulator directly: run a
+// single configuration, gather a benchmark campaign to CSV, or emit the
+// pe-layout XML for an allocation.
+//
+// Usage:
+//
+//	cesmsim run -res 1deg -nodes 128 -atm 104 -ocn 24 -ice 80 -lnd 24
+//	cesmsim gather -res 1deg -min 64 -max 2048 -points 6 -csv
+//	cesmsim pelayout -nodes 128 -atm 104 -ocn 24 -ice 80 -lnd 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hslb/internal/bench"
+	"hslb/internal/cesm"
+	"hslb/internal/perf"
+	"hslb/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "gather":
+		err = gatherCmd(os.Args[2:])
+	case "pelayout":
+		err = pelayoutCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cesmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cesmsim <run|gather|pelayout> [flags]
+  run       execute one simulated CESM configuration and print timings
+  gather    run a benchmark campaign and print per-component samples
+  pelayout  print the env_mach_pes-style XML for an allocation`)
+}
+
+func parseRes(s string) (cesm.Resolution, error) {
+	switch s {
+	case "1deg", "1":
+		return cesm.Res1Deg, nil
+	case "0.125deg", "1/8", "8th":
+		return cesm.Res8thDeg, nil
+	}
+	return 0, fmt.Errorf("unknown resolution %q", s)
+}
+
+func allocFlags(fs *flag.FlagSet) (*int, *int, *int, *int) {
+	atm := fs.Int("atm", 104, "atmosphere nodes")
+	ocn := fs.Int("ocn", 24, "ocean nodes")
+	ice := fs.Int("ice", 80, "sea-ice nodes")
+	lnd := fs.Int("lnd", 24, "land nodes")
+	return atm, ocn, ice, lnd
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	resFlag := fs.String("res", "1deg", "resolution")
+	nodes := fs.Int("nodes", 128, "total nodes")
+	layout := fs.Int("layout", 1, "layout 1-3")
+	seed := fs.Int64("seed", 1, "noise seed")
+	days := fs.Int("days", 5, "simulated days")
+	atm, ocn, ice, lnd := allocFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := parseRes(*resFlag)
+	if err != nil {
+		return err
+	}
+	tm, err := cesm.Run(cesm.Config{
+		Resolution: res,
+		Layout:     cesm.Layout(*layout - 1),
+		TotalNodes: *nodes,
+		Alloc:      cesm.Allocation{Atm: *atm, Ocn: *ocn, Ice: *ice, Lnd: *lnd},
+		Seed:       *seed,
+		Days:       *days,
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("%s, layout %d, %d-day run on %d nodes", res, *layout, *days, *nodes),
+		"component", "nodes", "time s")
+	t.AddRow("atm", *atm, tm.Comp[cesm.ATM])
+	t.AddRow("ocn", *ocn, tm.Comp[cesm.OCN])
+	t.AddRow("ice", *ice, tm.Comp[cesm.ICE])
+	t.AddRow("lnd", *lnd, tm.Comp[cesm.LND])
+	t.AddRow("rtm", *lnd, tm.RTM)
+	t.AddRow("cpl", *atm, tm.CPL)
+	t.AddSeparator()
+	t.AddRow("TOTAL", *nodes, tm.Total)
+	t.Render(os.Stdout)
+	return nil
+}
+
+func gatherCmd(args []string) error {
+	fs := flag.NewFlagSet("gather", flag.ExitOnError)
+	resFlag := fs.String("res", "1deg", "resolution")
+	minN := fs.Int("min", 64, "smallest total node count")
+	maxN := fs.Int("max", 2048, "largest total node count")
+	points := fs.Int("points", 6, "number of node counts")
+	repeats := fs.Int("repeats", 1, "runs per count")
+	seed := fs.Int64("seed", 1, "noise seed")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := parseRes(*resFlag)
+	if err != nil {
+		return err
+	}
+	data, err := bench.Campaign{
+		Resolution: res,
+		Layout:     cesm.Layout1,
+		NodeCounts: perf.SamplingPlan(*minN, *maxN, *points),
+		Repeats:    *repeats,
+		Seed:       *seed,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("benchmark campaign: %s, %d runs", res, data.Runs),
+		"component", "nodes", "time s")
+	for _, c := range cesm.OptimizedComponents {
+		for _, s := range data.Samples[c] {
+			t.AddRow(c.String(), s.Nodes, s.Time)
+		}
+	}
+	if *csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
+	return nil
+}
+
+func pelayoutCmd(args []string) error {
+	fs := flag.NewFlagSet("pelayout", flag.ExitOnError)
+	nodes := fs.Int("nodes", 128, "total nodes")
+	layout := fs.Int("layout", 1, "layout 1-3")
+	atm, ocn, ice, lnd := allocFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := cesm.NewPELayout(cesm.Layout(*layout-1), *nodes,
+		cesm.Allocation{Atm: *atm, Ocn: *ocn, Ice: *ice, Lnd: *lnd})
+	if err != nil {
+		return err
+	}
+	return p.WriteXML(os.Stdout)
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseRes(t *testing.T) {
+	if _, err := parseRes("1deg"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseRes("8th"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseRes("nope"); err == nil {
+		t.Error("bad resolution accepted")
+	}
+}
+
+func TestSubcommandsRun(t *testing.T) {
+	if err := runCmd([]string{"-res", "1deg", "-nodes", "128"}); err != nil {
+		t.Errorf("run: %v", err)
+	}
+	if err := gatherCmd([]string{"-res", "1deg", "-min", "64", "-max", "512", "-points", "4", "-csv"}); err != nil {
+		t.Errorf("gather: %v", err)
+	}
+	if err := pelayoutCmd([]string{"-nodes", "128"}); err != nil {
+		t.Errorf("pelayout: %v", err)
+	}
+	// Invalid allocation must surface an error.
+	if err := runCmd([]string{"-res", "1deg", "-nodes", "128", "-ocn", "100"}); err == nil {
+		t.Error("invalid allocation accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"hslb/internal/cesm"
+	"hslb/internal/core"
+)
+
+func TestParseResolution(t *testing.T) {
+	cases := map[string]cesm.Resolution{
+		"1deg": cesm.Res1Deg, "1": cesm.Res1Deg,
+		"0.125deg": cesm.Res8thDeg, "1/8": cesm.Res8thDeg, "8th": cesm.Res8thDeg,
+	}
+	for in, want := range cases {
+		got, err := parseResolution(in)
+		if err != nil || got != want {
+			t.Errorf("parseResolution(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseResolution("2deg"); err == nil {
+		t.Error("unknown resolution accepted")
+	}
+}
+
+func TestParseLayout(t *testing.T) {
+	for n, want := range map[int]cesm.Layout{1: cesm.Layout1, 2: cesm.Layout2, 3: cesm.Layout3} {
+		got, err := parseLayout(n)
+		if err != nil || got != want {
+			t.Errorf("parseLayout(%d) = %v, %v", n, got, err)
+		}
+	}
+	for _, bad := range []int{0, 4, -1} {
+		if _, err := parseLayout(bad); err == nil {
+			t.Errorf("layout %d accepted", bad)
+		}
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	cases := map[string]core.Objective{
+		"min-max": core.MinMax, "max-min": core.MaxMin, "min-sum": core.MinSum,
+	}
+	for in, want := range cases {
+		got, err := parseObjective(in)
+		if err != nil || got != want {
+			t.Errorf("parseObjective(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseObjective("min-mean"); err == nil {
+		t.Error("unknown objective accepted")
+	}
+}

@@ -1,0 +1,38 @@
+// Command hslbserver runs the NEOS-like optimization service: it accepts
+// AMPL models over HTTP and solves them with the MINLP branch-and-bound
+// solvers, reproducing the remote-solve deployment of the paper's automated
+// pipeline (§V: "The AMPL code in HSLB is executed remotely ... on NEOS
+// server hosted by ANL").
+//
+// Usage:
+//
+//	hslbserver -addr :8080 -concurrency 4
+//
+//	curl -s localhost:8080/health
+//	curl -s -X POST localhost:8080/solve -d '{"model":"var x >= 0 <= 9; maximize o: x;"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"hslb/internal/neos"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	concurrency := flag.Int("concurrency", 4, "maximum simultaneous solves")
+	flag.Parse()
+
+	srv := neos.NewServer(*concurrency)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("hslbserver listening on %s (max %d concurrent solves)\n", *addr, *concurrency)
+	log.Fatal(httpSrv.ListenAndServe())
+}

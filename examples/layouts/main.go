@@ -1,0 +1,81 @@
+// Layouts: compare the three CESM component layouts of Figure 1 across
+// machine sizes, reproducing the shape of the paper's Figure 4 — layouts 1
+// and 2 perform similarly while the fully sequential layout 3 is the worst.
+//
+//	go run ./examples/layouts
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hslb/internal/bench"
+	"hslb/internal/cesm"
+	"hslb/internal/core"
+	"hslb/internal/perf"
+	"hslb/internal/report"
+)
+
+func main() {
+	// One shared gather+fit pass (the scaling data does not depend on the
+	// layout being optimized).
+	data, err := bench.Campaign{
+		Resolution: cesm.Res1Deg,
+		Layout:     cesm.Layout1,
+		NodeCounts: perf.SamplingPlan(64, 2048, 6),
+		Repeats:    2,
+		Seed:       1,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fits, err := data.FitAll(perf.FitOptions{ConvexExponent: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	models := bench.Models(fits)
+
+	sizes := []int{128, 256, 512, 1024, 2048}
+	layouts := []cesm.Layout{cesm.Layout1, cesm.Layout2, cesm.Layout3}
+
+	t := report.NewTable("Predicted total time (s) per layout — Figure 4 shape",
+		"nodes", "layout1", "layout2", "layout3", "l3/l1")
+	chart := &report.Chart{
+		Title: "Layout scaling at 1° resolution", XLabel: "nodes", YLabel: "seconds",
+		LogX: true, LogY: true,
+	}
+	series := map[cesm.Layout]*report.Series{}
+	for _, l := range layouts {
+		series[l] = &report.Series{Name: l.String()}
+	}
+
+	for _, n := range sizes {
+		totals := map[cesm.Layout]float64{}
+		for _, layout := range layouts {
+			dec, err := core.SolveAllocation(core.Spec{
+				Resolution:     cesm.Res1Deg,
+				Layout:         layout,
+				TotalNodes:     n,
+				Perf:           models,
+				ConstrainOcean: true,
+				ConstrainAtm:   true,
+			}, core.SolverOptions())
+			if err != nil {
+				log.Fatalf("layout %v at %d nodes: %v", layout, n, err)
+			}
+			totals[layout] = dec.PredictedTime
+			s := series[layout]
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, dec.PredictedTime)
+		}
+		t.AddRow(n, totals[cesm.Layout1], totals[cesm.Layout2], totals[cesm.Layout3],
+			totals[cesm.Layout3]/totals[cesm.Layout1])
+	}
+	for _, l := range layouts {
+		chart.Series = append(chart.Series, *series[l])
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+	chart.Render(os.Stdout)
+}

@@ -1,0 +1,111 @@
+// NEOS pipeline: reproduce the paper's production deployment (§V) — HSLB
+// writes its Table I model as AMPL text and submits it to a remote solve
+// service, then reads the allocation back. Here the "remote" service runs
+// in-process on a loopback port; point the client at any host running
+// cmd/hslbserver for a true remote solve.
+//
+//	go run ./examples/neos_pipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"time"
+
+	"hslb/internal/bench"
+	"hslb/internal/cesm"
+	"hslb/internal/core"
+	"hslb/internal/neos"
+	"hslb/internal/perf"
+)
+
+func main() {
+	// Start the solve service on a loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: neos.NewServer(2).Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Println("server:", err)
+		}
+	}()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("solve service at", base)
+
+	// HSLB steps 1-2 locally: gather and fit.
+	data, err := bench.Campaign{
+		Resolution: cesm.Res1Deg,
+		Layout:     cesm.Layout1,
+		NodeCounts: perf.SamplingPlan(64, 2048, 5),
+		Seed:       13,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fits, err := data.FitAll(perf.FitOptions{ConvexExponent: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := core.Spec{
+		Resolution:     cesm.Res1Deg,
+		Layout:         cesm.Layout1,
+		TotalNodes:     128,
+		Perf:           bench.Models(fits),
+		ConstrainOcean: true,
+		ConstrainAtm:   true,
+	}
+
+	// Step 3 remotely: generate AMPL, submit asynchronously, poll.
+	src, err := core.WriteAMPL(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d bytes of AMPL; submitting...\n", len(src))
+	client := neos.NewClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	id, err := client.Submit(ctx, &neos.SolveRequest{Model: src, RelGap: 1e-4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var result *neos.SolveResponse
+	for {
+		jr, err := client.Result(ctx, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if jr.Status == neos.JobDone {
+			result = jr.Result
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if result.Status != "optimal" {
+		log.Fatalf("remote solve: %s (%s)", result.Status, result.Error)
+	}
+
+	// Step 4 locally: execute the returned allocation.
+	alloc := cesm.Allocation{
+		Atm: int(math.Round(result.Variables["n_atm"])),
+		Ocn: int(math.Round(result.Variables["n_ocn"])),
+		Ice: int(math.Round(result.Variables["n_ice"])),
+		Lnd: int(math.Round(result.Variables["n_lnd"])),
+	}
+	tm, err := cesm.Run(cesm.Config{
+		Resolution: cesm.Res1Deg, Layout: cesm.Layout1,
+		TotalNodes: 128, Alloc: alloc, Seed: 77,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote job %d: predicted T = %.1f s, allocation %v\n",
+		id, result.Variables["T"], alloc)
+	fmt.Printf("executed locally: %.1f s\n", tm.Total)
+}

@@ -1,0 +1,56 @@
+// Quickstart: the four HSLB steps end to end on the simulated 1° CESM
+// machine with a 128-node budget — the paper's smallest Table III case.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hslb/internal/bench"
+	"hslb/internal/cesm"
+	"hslb/internal/core"
+	"hslb/internal/perf"
+)
+
+func main() {
+	// Step 1 — Gather: benchmark the model at a handful of node counts
+	// (smallest feasible, largest available, geometric points between).
+	campaign := bench.Campaign{
+		Resolution: cesm.Res1Deg,
+		Layout:     cesm.Layout1,
+		NodeCounts: perf.SamplingPlan(64, 2048, 5),
+		Repeats:    2,
+		Seed:       42,
+	}
+
+	// Steps 2-4 — Fit, Solve, Execute: the pipeline does the rest.
+	result, err := core.RunPipeline(core.PipelineOptions{
+		Campaign: campaign,
+		Spec: core.Spec{
+			Resolution:     cesm.Res1Deg,
+			Layout:         cesm.Layout1,
+			TotalNodes:     128,
+			ConstrainOcean: true, // ocean restricted to its hard-coded counts
+			ConstrainAtm:   true, // atmosphere restricted to its sweet spots
+		},
+		Fit:         perf.FitOptions{ConvexExponent: true},
+		ExecuteSeed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Fitted performance models T(n) = a/n + b*n^c + d:")
+	for _, c := range cesm.OptimizedComponents {
+		f := result.Fits[c]
+		fmt.Printf("  %-4s %s   (R²=%.4f)\n", c, f.Model, f.R2)
+	}
+
+	d := result.Decision
+	fmt.Printf("\nOptimal allocation for N=128: %v\n", d.Alloc)
+	fmt.Printf("Predicted total: %.1f s   Actual run: %.1f s\n",
+		d.PredictedTime, result.Execution.Total)
+	fmt.Printf("(paper, Table III: manual 416.0 s, HSLB predicted 410.6 s, actual 425.2 s)\n")
+}

@@ -1,0 +1,3 @@
+module hslb
+
+go 1.22

@@ -1,0 +1,59 @@
+package ampl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that accepted models
+// validate. The seed corpus covers every statement kind plus pathological
+// fragments; `go test` exercises the seeds, `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"param N := 128;",
+		"set O := {2, 4, 480, 768};",
+		"var x >= 0 <= 10;",
+		"var n integer >= 1 <= 64;",
+		"var z {O} binary;",
+		"minimize o: x;",
+		"maximize o: -x^2 + 3;",
+		"subject to c: 100/n + 5 <= T;",
+		"s.t. pick: sum {k in O} z[k] = 1;",
+		miniCorpus,
+		"param p := 1e308;",
+		"var x >= -1e308 <= 1e308; minimize o: x;",
+		"# only a comment",
+		"var x >= 0; minimize o: x; s.t. c: x ^ x ^ x <= 2;",
+		"var x >= 0 <= 1; minimize o: ((((x))));",
+		"set S := {1}; var z {S} binary; minimize o: sum {k in S} sum {k in S} k;",
+		"var é >= 0;",
+		strings.Repeat("(", 100),
+		strings.Repeat("param a := 1;", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Parse(src) // must not panic
+		if err == nil && res != nil {
+			if verr := res.Model.Validate(); verr != nil {
+				t.Fatalf("accepted model fails validation: %v\nsource: %q", verr, src)
+			}
+		}
+	})
+}
+
+const miniCorpus = `
+param N := 30;
+set O := {2, 4, 24};
+var z {O} binary;
+var T >= 0 <= 10000;
+var n1 integer >= 1 <= 30;
+minimize total: T;
+subject to t1: 100 / n1 + 5 <= T;
+s.t. pick: sum {k in O} z[k] = 1;
+s.t. link: sum {k in O} k * z[k] - n1 = 0;
+subject to cap: n1 <= N;
+`

@@ -1,0 +1,116 @@
+// Package ampl implements a parser for a subset of the AMPL modeling
+// language, sufficient to express the paper's Table I/II optimization
+// models as text files.
+//
+// The paper writes its MINLPs in AMPL and ships them to MINOTAUR (via the
+// NEOS service); this package reproduces that workflow against the solvers
+// in this repository. Supported constructs:
+//
+//	param N := 128;
+//	set O := {2, 4, 480, 768};
+//	var T >= 0;
+//	var n_ocn integer >= 1 <= 768;
+//	var z {O} binary;
+//	minimize total: T;
+//	subject to cap: n_atm + n_ocn <= N;
+//	s.t. pick: sum {k in O} z[k] = 1;
+//	s.t. link: sum {k in O} k * z[k] = n_ocn;
+//
+// Expressions support + - * / ^ ( ), numeric literals, params, variables,
+// indexed variables and sum comprehensions over declared sets.
+package ampl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // one of ( ) { } [ ] , ; : + - * / ^ < > = and <= >= :=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset for error messages
+	line int
+}
+
+// lex tokenizes src. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			word := src[i:j]
+			// "s.t." is lexed as the single keyword "s.t." thanks to '.'
+			// being an identifier character; strip a trailing '.' that
+			// would otherwise glue onto following tokens.
+			word = strings.TrimSuffix(word, ".")
+			if word == "s.t" {
+				word = "s.t."
+			}
+			toks = append(toks, token{tokIdent, word, i, line})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			seenE := false
+			for j < len(src) {
+				d := src[j]
+				if unicode.IsDigit(rune(d)) || d == '.' {
+					j++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenE {
+					seenE = true
+					j++
+					if j < len(src) && (src[j] == '+' || src[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i, line})
+			i = j
+		case strings.ContainsRune("(){}[],;:+-*/^<>=", rune(c)):
+			// Two-character operators.
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				if two == "<=" || two == ">=" || two == ":=" || two == "==" {
+					toks = append(toks, token{tokSymbol, two, i, line})
+					i += 2
+					continue
+				}
+			}
+			toks = append(toks, token{tokSymbol, string(c), i, line})
+			i++
+		default:
+			return nil, fmt.Errorf("ampl: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src), line})
+	return toks, nil
+}

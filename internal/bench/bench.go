@@ -1,0 +1,184 @@
+// Package bench implements HSLB step 1 ("Gather", §III-F): run benchmark
+// CESM simulations at a spread of node counts and collect per-component
+// wall-clock samples for the fitting step.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hslb/internal/cesm"
+	"hslb/internal/perf"
+)
+
+// Campaign describes a benchmark data-gathering campaign: D short (5-day)
+// runs at varied node counts, as recommended in §III-C (smallest feasible
+// count, largest available, and a few points between to capture curvature).
+type Campaign struct {
+	Resolution cesm.Resolution
+	Layout     cesm.Layout
+	// NodeCounts are the total node counts to benchmark. Use
+	// perf.SamplingPlan to generate them.
+	NodeCounts []int
+	// Repeats is the number of runs per node count (default 1). More
+	// repeats average out machine noise at the cost of compute time.
+	Repeats int
+	// Seed drives the simulated machine's run-to-run noise.
+	Seed int64
+	// Allocate maps a total node count to the allocation used for that
+	// benchmark run. Nil uses DefaultAllocation.
+	Allocate func(res cesm.Resolution, layout cesm.Layout, total int) cesm.Allocation
+}
+
+// RunRecord summarizes one benchmark run for cost accounting.
+type RunRecord struct {
+	TotalNodes int
+	Total      float64 // seconds of machine wall-clock
+}
+
+// Data holds gathered samples grouped per component.
+type Data struct {
+	Resolution cesm.Resolution
+	Layout     cesm.Layout
+	Samples    map[cesm.Component][]perf.Sample
+	Runs       int
+	// Records lists every benchmark run, for computing what the gather
+	// step itself cost (the paper weighs HSLB's handful of short runs
+	// against the "expensive ... person and computer time" of manual
+	// tuning, §II).
+	Records []RunRecord
+}
+
+// CoreHours returns the total compute the campaign consumed.
+func (d *Data) CoreHours() float64 {
+	s := 0.0
+	for _, r := range d.Records {
+		s += float64(r.TotalNodes) * cesm.CoresPerNode * r.Total / 3600
+	}
+	return s
+}
+
+// ErrNoCounts is returned for a campaign without node counts.
+var ErrNoCounts = errors.New("bench: campaign has no node counts")
+
+// DefaultAllocation builds a plausible benchmark allocation for a total
+// node count under layout-1 constraints: the ocean takes roughly a fifth of
+// the machine (snapped to its allowed set), the atmosphere the rest, and
+// ice/land split the atmosphere's nodes 3:1 — mirroring the proportions of
+// the paper's manual runs.
+func DefaultAllocation(res cesm.Resolution, layout cesm.Layout, total int) cesm.Allocation {
+	ocn := total / 5
+	if ocn < 2 {
+		ocn = 2
+	}
+	if set := cesm.OceanSet(res); len(set) > 0 {
+		// Snap down so atm keeps the larger share.
+		best := set[0]
+		for _, v := range set {
+			if v <= ocn && v > best {
+				best = v
+			}
+		}
+		if best <= total-2 {
+			ocn = best
+		}
+	}
+	if max := cesm.OceanMaxNodes(res); ocn > max {
+		ocn = max
+	}
+	atm := total - ocn
+	if max := cesm.AtmMaxNodes(res); atm > max {
+		atm = max
+	}
+	if atm < 2 {
+		atm = 2
+		if ocn > total-atm {
+			ocn = total - atm
+		}
+	}
+	ice := atm * 3 / 4
+	if ice < 1 {
+		ice = 1
+	}
+	lnd := atm - ice
+	if lnd < 1 {
+		lnd = 1
+		ice = atm - lnd
+	}
+	return cesm.Allocation{Atm: atm, Ocn: ocn, Ice: ice, Lnd: lnd}
+}
+
+// Run executes the campaign and returns per-component samples.
+func (c Campaign) Run() (*Data, error) {
+	if len(c.NodeCounts) == 0 {
+		return nil, ErrNoCounts
+	}
+	repeats := c.Repeats
+	if repeats == 0 {
+		repeats = 1
+	}
+	alloc := c.Allocate
+	if alloc == nil {
+		alloc = DefaultAllocation
+	}
+	data := &Data{
+		Resolution: c.Resolution,
+		Layout:     c.Layout,
+		Samples:    map[cesm.Component][]perf.Sample{},
+	}
+	for _, total := range c.NodeCounts {
+		if total < 4 {
+			return nil, fmt.Errorf("bench: node count %d too small for a coupled run", total)
+		}
+		a := alloc(c.Resolution, c.Layout, total)
+		for rep := 0; rep < repeats; rep++ {
+			tm, err := cesm.Run(cesm.Config{
+				Resolution: c.Resolution,
+				Layout:     c.Layout,
+				TotalNodes: total,
+				Alloc:      a,
+				Seed:       c.Seed + int64(rep)*1000003,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: run at %d nodes: %w", total, err)
+			}
+			for _, comp := range cesm.OptimizedComponents {
+				data.Samples[comp] = append(data.Samples[comp], perf.Sample{
+					Nodes: a.Get(comp),
+					Time:  tm.Comp[comp],
+				})
+			}
+			data.Records = append(data.Records, RunRecord{TotalNodes: total, Total: tm.Total})
+			data.Runs++
+		}
+	}
+	for _, comp := range cesm.OptimizedComponents {
+		s := data.Samples[comp]
+		sort.Slice(s, func(i, j int) bool { return s[i].Nodes < s[j].Nodes })
+	}
+	return data, nil
+}
+
+// FitAll fits the Table II performance model to every component's samples
+// (HSLB step 2).
+func (d *Data) FitAll(opt perf.FitOptions) (map[cesm.Component]*perf.FitResult, error) {
+	out := map[cesm.Component]*perf.FitResult{}
+	for _, comp := range cesm.OptimizedComponents {
+		res, err := perf.Fit(d.Samples[comp], opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fitting %v: %w", comp, err)
+		}
+		out[comp] = res
+	}
+	return out, nil
+}
+
+// Models extracts just the fitted models from FitAll results.
+func Models(fits map[cesm.Component]*perf.FitResult) map[cesm.Component]perf.Model {
+	out := map[cesm.Component]perf.Model{}
+	for c, f := range fits {
+		out[c] = f.Model
+	}
+	return out
+}

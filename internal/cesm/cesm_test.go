@@ -1,0 +1,318 @@
+package cesm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// within reports |got-want|/want <= rel.
+func within(got, want, rel float64) bool {
+	return math.Abs(got-want) <= rel*math.Abs(want)
+}
+
+// Table III manual-allocation calibration targets.
+var calibrationCases = []struct {
+	name  string
+	res   Resolution
+	total int
+	alloc Allocation
+	want  float64 // paper's measured total, seconds
+	rel   float64 // acceptance band
+}{
+	{"1deg/128", Res1Deg, 128, Allocation{Atm: 104, Ocn: 24, Ice: 80, Lnd: 24}, 416.006, 0.04},
+	{"1deg/2048", Res1Deg, 2048, Allocation{Atm: 1664, Ocn: 384, Ice: 1280, Lnd: 384}, 79.899, 0.06},
+	{"8th/8192", Res8thDeg, 8192, Allocation{Atm: 5836, Ocn: 2356, Ice: 5350, Lnd: 486}, 3785.333, 0.04},
+	{"8th/32768", Res8thDeg, 32768, Allocation{Atm: 26644, Ocn: 6124, Ice: 24424, Lnd: 2220}, 1645.009, 0.05},
+}
+
+func TestCalibrationReproducesTable3ManualTotals(t *testing.T) {
+	for _, c := range calibrationCases {
+		t.Run(c.name, func(t *testing.T) {
+			tm, err := Run(Config{
+				Resolution: c.res, Layout: Layout1, TotalNodes: c.total,
+				Alloc: c.alloc, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !within(tm.Total, c.want, c.rel) {
+				t.Fatalf("total = %.1f, paper %.1f (>%g%% off)", tm.Total, c.want, c.rel*100)
+			}
+		})
+	}
+}
+
+func TestCalibrationPerComponent(t *testing.T) {
+	// 1°/128 manual per-component times from Table III.
+	want := map[Component]float64{LND: 63.766, ICE: 109.054, ATM: 306.952, OCN: 362.669}
+	tm, err := Run(Config{
+		Resolution: Res1Deg, Layout: Layout1, TotalNodes: 128,
+		Alloc: Allocation{Atm: 104, Ocn: 24, Ice: 80, Lnd: 24}, Deterministic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, w := range want {
+		rel := 0.03
+		if c == ICE {
+			rel = 0.10 // decomposition factor makes ice fuzzier
+		}
+		if !within(tm.Comp[c], w, rel) {
+			t.Errorf("%v = %.1f, paper %.1f", c, tm.Comp[c], w)
+		}
+	}
+}
+
+func TestComposeTotalRules(t *testing.T) {
+	comp := map[Component]float64{ICE: 10, LND: 8, ATM: 30, OCN: 35}
+	if got := ComposeTotal(Layout1, comp); got != 40 {
+		t.Errorf("layout1 = %v, want 40", got) // max(max(10,8)+30, 35)
+	}
+	if got := ComposeTotal(Layout2, comp); got != 48 {
+		t.Errorf("layout2 = %v, want 48", got) // max(10+8+30, 35)
+	}
+	if got := ComposeTotal(Layout3, comp); got != 83 {
+		t.Errorf("layout3 = %v, want 83", got)
+	}
+}
+
+func TestLayoutOrderingProperty(t *testing.T) {
+	// For any component times, layout1 <= layout2 <= layout3 (Figure 4's
+	// expected ordering, which holds pointwise for equal allocations).
+	f := func(a, b, c, d uint16) bool {
+		comp := map[Component]float64{
+			ICE: float64(a%1000) + 1, LND: float64(b%1000) + 1,
+			ATM: float64(c%1000) + 1, OCN: float64(d%1000) + 1,
+		}
+		l1 := ComposeTotal(Layout1, comp)
+		l2 := ComposeTotal(Layout2, comp)
+		l3 := ComposeTotal(Layout3, comp)
+		return l1 <= l2+1e-12 && l2 <= l3+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateLayout1Constraints(t *testing.T) {
+	base := Config{Resolution: Res1Deg, Layout: Layout1, TotalNodes: 128,
+		Alloc: Allocation{Atm: 104, Ocn: 24, Ice: 80, Lnd: 24}}
+	if err := ValidateConfig(base); err != nil {
+		t.Fatal(err)
+	}
+	bad := base
+	bad.Alloc.Ice = 100 // ice+lnd > atm
+	if err := ValidateConfig(bad); err == nil {
+		t.Error("ice+lnd > atm accepted")
+	}
+	bad2 := base
+	bad2.Alloc.Ocn = 40 // atm+ocn > N
+	if err := ValidateConfig(bad2); err == nil {
+		t.Error("atm+ocn > N accepted")
+	}
+	bad3 := base
+	bad3.Alloc.Lnd = 0
+	if err := ValidateConfig(bad3); err == nil {
+		t.Error("zero-node component accepted")
+	}
+}
+
+func TestValidateLayout23(t *testing.T) {
+	l2 := Config{Resolution: Res1Deg, Layout: Layout2, TotalNodes: 100,
+		Alloc: Allocation{Atm: 60, Ocn: 40, Ice: 60, Lnd: 60}}
+	if err := ValidateConfig(l2); err != nil {
+		t.Fatal(err)
+	}
+	l2.Alloc.Atm = 61 // > N - ocn
+	if err := ValidateConfig(l2); err == nil {
+		t.Error("layout2 atm > N-ocn accepted")
+	}
+	l3 := Config{Resolution: Res1Deg, Layout: Layout3, TotalNodes: 100,
+		Alloc: Allocation{Atm: 100, Ocn: 100, Ice: 100, Lnd: 100}}
+	if err := ValidateConfig(l3); err != nil {
+		t.Fatal(err)
+	}
+	l3.Alloc.Ocn = 101
+	if err := ValidateConfig(l3); err == nil {
+		t.Error("layout3 ocn > N accepted")
+	}
+}
+
+func TestNoiseDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Resolution: Res1Deg, Layout: Layout1, TotalNodes: 128,
+		Alloc: Allocation{Atm: 104, Ocn: 24, Ice: 80, Lnd: 24}, Seed: 7}
+	t1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := Run(cfg)
+	if t1.Total != t2.Total {
+		t.Error("same seed must reproduce identical timings")
+	}
+	cfg.Seed = 8
+	t3, _ := Run(cfg)
+	if t1.Total == t3.Total {
+		t.Error("different seeds should perturb timings")
+	}
+}
+
+func TestIceNoisierThanOthers(t *testing.T) {
+	// Run-to-run relative spread of ICE should exceed ATM's (paper §IV-A).
+	spread := func(c Component, nodes int) float64 {
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for seed := int64(0); seed < 30; seed++ {
+			v := ComponentTime(Res1Deg, c, nodes, seed)
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+		return (maxV - minV) / minV
+	}
+	if spread(ICE, 80) <= spread(ATM, 104) {
+		t.Errorf("ICE spread %v should exceed ATM spread %v", spread(ICE, 80), spread(ATM, 104))
+	}
+}
+
+func TestIceDecompVariesAcrossNodeCounts(t *testing.T) {
+	// The default decomposition penalty must vary with node count (the
+	// source of the noisy ice curve), and BestIceDecomp must never be worse
+	// than the default.
+	varied := false
+	first := iceDecompFactor(Res1Deg, 80, DecompDefault)
+	for _, n := range []int{40, 96, 123, 200, 333, 512} {
+		f := iceDecompFactor(Res1Deg, n, DecompDefault)
+		if f != first {
+			varied = true
+		}
+		_, bestF := BestIceDecomp(Res1Deg, n)
+		if bestF > f+1e-12 {
+			t.Errorf("best decomp worse than default at n=%d: %v > %v", n, bestF, f)
+		}
+	}
+	if !varied {
+		t.Error("default decomposition factor constant across node counts")
+	}
+}
+
+func TestDaysScaling(t *testing.T) {
+	cfg := Config{Resolution: Res1Deg, Layout: Layout1, TotalNodes: 128,
+		Alloc: Allocation{Atm: 104, Ocn: 24, Ice: 80, Lnd: 24}, Deterministic: true}
+	t5, _ := Run(cfg)
+	cfg.Days = 10
+	t10, _ := Run(cfg)
+	if !within(t10.Total, 2*t5.Total, 1e-9) {
+		t.Errorf("10-day run should be 2x 5-day: %v vs %v", t10.Total, t5.Total)
+	}
+}
+
+func TestOceanSet1Deg(t *testing.T) {
+	set := OceanSet(Res1Deg)
+	if set[0] != 2 || set[len(set)-1] != 768 || set[len(set)-2] != 480 {
+		t.Fatalf("set ends = %d...%d,%d", set[0], set[len(set)-2], set[len(set)-1])
+	}
+	if len(set) != 241 {
+		t.Fatalf("len = %d, want 241", len(set))
+	}
+	for _, v := range set[:len(set)-1] {
+		if v%2 != 0 {
+			t.Fatalf("odd ocean count %d", v)
+		}
+	}
+}
+
+func TestOceanSet8th(t *testing.T) {
+	set := OceanSet(Res8thDeg)
+	want := []int{480, 512, 2356, 3136, 4564, 6124, 19460}
+	if len(set) != len(want) {
+		t.Fatalf("set = %v", set)
+	}
+	for i := range want {
+		if set[i] != want[i] {
+			t.Fatalf("set = %v, want %v", set, want)
+		}
+	}
+}
+
+func TestAtmSet(t *testing.T) {
+	set := AtmSet(Res1Deg, 0)
+	if set[0] != 1 || set[len(set)-1] != 1664 || set[len(set)-2] != 1638 {
+		t.Fatalf("atm set boundary wrong: %d...%d,%d", set[0], set[len(set)-2], set[len(set)-1])
+	}
+	// Paper's chosen 1525 must be in the set.
+	found := false
+	for _, v := range set {
+		if v == 1525 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("1525 missing from atm set")
+	}
+	trunc := AtmSet(Res1Deg, 128)
+	if trunc[len(trunc)-1] > 128 {
+		t.Errorf("truncation failed: %v", trunc[len(trunc)-1])
+	}
+	if AtmSet(Res8thDeg, 0) != nil {
+		t.Error("1/8° should not use an explicit atm set")
+	}
+}
+
+func TestSnapHelpers(t *testing.T) {
+	if got := SnapToSweetSpot(100, []int{2, 24, 96, 480}); got != 96 {
+		t.Errorf("SnapToSweetSpot = %d, want 96", got)
+	}
+	if got := SnapToSweetSpot(5, nil); got != 5 {
+		t.Errorf("empty set snap = %d", got)
+	}
+	if got := SnapToMultiple(9813, 4); got != 9812 {
+		t.Errorf("SnapToMultiple = %d, want 9812", got)
+	}
+	if got := SnapToMultiple(2, 4); got != 4 {
+		t.Errorf("SnapToMultiple min = %d, want 4", got)
+	}
+	if got := SnapToMultiple(7, 1); got != 7 {
+		t.Errorf("m=1 should be identity, got %d", got)
+	}
+}
+
+func TestAllocationAccessors(t *testing.T) {
+	var a Allocation
+	for i, c := range OptimizedComponents {
+		a.Set(c, 10+i)
+	}
+	for i, c := range OptimizedComponents {
+		if a.Get(c) != 10+i {
+			t.Fatalf("Get(%v) = %d", c, a.Get(c))
+		}
+	}
+	if a.Get(RTM) != 0 {
+		t.Error("non-optimized component should report 0")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ATM.String() != "atm" || OCN.String() != "ocn" || ICE.String() != "ice" || LND.String() != "lnd" {
+		t.Error("component strings")
+	}
+	if Res1Deg.String() == "" || Res8thDeg.String() == "" {
+		t.Error("resolution strings")
+	}
+	if Layout1.String() == "" || DecompSpaceCurve.String() == "" {
+		t.Error("layout/decomp strings")
+	}
+}
+
+func TestRTMAndCPLSmall(t *testing.T) {
+	// River and coupler must stay small relative to the total (the paper's
+	// justification for excluding them).
+	tm, err := Run(Config{
+		Resolution: Res1Deg, Layout: Layout1, TotalNodes: 128,
+		Alloc: Allocation{Atm: 104, Ocn: 24, Ice: 80, Lnd: 24}, Deterministic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.RTM > 0.05*tm.Total || tm.CPL > 0.05*tm.Total {
+		t.Errorf("rtm=%v cpl=%v not small vs total %v", tm.RTM, tm.CPL, tm.Total)
+	}
+}

@@ -1,0 +1,203 @@
+package cesm
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PEEntry is one component's processor-element assignment, in CESM's
+// env_mach_pes.xml vocabulary: task count, threads per task, and the root
+// processing element the component starts at.
+type PEEntry struct {
+	NTasks   int
+	NThreads int
+	RootPE   int
+}
+
+// PELayout is a full CESM processor layout: the artifact a user would paste
+// into env_mach_pes.xml to run the model with an HSLB allocation. On
+// Intrepid CESM ran 1 MPI task × 4 OpenMP threads per node (§III-C), so
+// NTasks equals the node count and RootPE counts nodes.
+type PELayout struct {
+	Layout     Layout
+	TotalNodes int
+	Entries    map[Component]PEEntry
+}
+
+// NewPELayout derives root-PE placements from an allocation under the
+// layout's sequencing rules:
+//
+//   - Layout 1: ice and land run concurrently at the front of the
+//     atmosphere's nodes (ice at root 0, land right after it); the
+//     atmosphere runs sequentially over the same nodes from root 0; the
+//     ocean gets its own nodes after the atmosphere block. The coupler
+//     shares the atmosphere's roots and the river model the land's (§II).
+//   - Layout 2: ice, land and atmosphere run sequentially on the node block
+//     starting at 0; ocean concurrently on the remainder.
+//   - Layout 3: everything sequential from root 0.
+func NewPELayout(layout Layout, totalNodes int, a Allocation) (*PELayout, error) {
+	cfg := Config{Resolution: Res1Deg, Layout: layout, TotalNodes: totalNodes, Alloc: a}
+	if err := ValidateConfig(cfg); err != nil {
+		return nil, err
+	}
+	p := &PELayout{Layout: layout, TotalNodes: totalNodes, Entries: map[Component]PEEntry{}}
+	entry := func(c Component, nodes, root int) {
+		p.Entries[c] = PEEntry{NTasks: nodes, NThreads: CoresPerNode, RootPE: root}
+	}
+	switch layout {
+	case Layout1:
+		entry(ICE, a.Ice, 0)
+		entry(LND, a.Lnd, a.Ice)
+		entry(ATM, a.Atm, 0)
+		entry(OCN, a.Ocn, a.Atm)
+		entry(CPL, a.Atm, 0)
+		entry(RTM, a.Lnd, a.Ice)
+	case Layout2:
+		entry(ICE, a.Ice, 0)
+		entry(LND, a.Lnd, 0)
+		entry(ATM, a.Atm, 0)
+		entry(OCN, a.Ocn, maxInt3(a.Ice, a.Lnd, a.Atm))
+		entry(CPL, a.Atm, 0)
+		entry(RTM, a.Lnd, 0)
+	case Layout3:
+		entry(ICE, a.Ice, 0)
+		entry(LND, a.Lnd, 0)
+		entry(ATM, a.Atm, 0)
+		entry(OCN, a.Ocn, 0)
+		entry(CPL, a.Atm, 0)
+		entry(RTM, a.Lnd, 0)
+	default:
+		return nil, fmt.Errorf("cesm: unknown layout %v", layout)
+	}
+	return p, nil
+}
+
+// Validate checks the layout's internal consistency: every component fits
+// within the machine and the concurrency rules hold.
+func (p *PELayout) Validate() error {
+	if p.TotalNodes <= 0 {
+		return fmt.Errorf("cesm: pelayout has %d total nodes", p.TotalNodes)
+	}
+	for c, e := range p.Entries {
+		if e.NTasks < 1 {
+			return fmt.Errorf("cesm: %v has %d tasks", c, e.NTasks)
+		}
+		if e.RootPE < 0 || e.RootPE+e.NTasks > p.TotalNodes {
+			return fmt.Errorf("cesm: %v spans [%d,%d) outside machine of %d nodes",
+				c, e.RootPE, e.RootPE+e.NTasks, p.TotalNodes)
+		}
+		if e.NThreads != CoresPerNode {
+			return fmt.Errorf("cesm: %v uses %d threads; this machine runs %d per node",
+				c, e.NThreads, CoresPerNode)
+		}
+	}
+	if p.Layout == Layout1 {
+		ice, iceOK := p.Entries[ICE]
+		lnd, lndOK := p.Entries[LND]
+		atm, atmOK := p.Entries[ATM]
+		ocn, ocnOK := p.Entries[OCN]
+		if !iceOK || !lndOK || !atmOK || !ocnOK {
+			return fmt.Errorf("cesm: layout1 pelayout missing a component")
+		}
+		// Ice and land must not overlap each other and must sit inside the
+		// atmosphere block; ocean must not overlap the atmosphere.
+		if overlap(ice, lnd) {
+			return fmt.Errorf("cesm: layout1 ice and lnd overlap")
+		}
+		if ice.RootPE+ice.NTasks > atm.RootPE+atm.NTasks || lnd.RootPE+lnd.NTasks > atm.RootPE+atm.NTasks {
+			return fmt.Errorf("cesm: layout1 ice/lnd outside the atm block")
+		}
+		if overlap(atm, ocn) {
+			return fmt.Errorf("cesm: layout1 atm and ocn overlap")
+		}
+	}
+	return nil
+}
+
+func overlap(a, b PEEntry) bool {
+	return a.RootPE < b.RootPE+b.NTasks && b.RootPE < a.RootPE+a.NTasks
+}
+
+func maxInt3(a, b, c int) int {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}
+
+// xmlLayout is the serialized form, shaped like CESM's env_mach_pes.xml.
+type xmlLayout struct {
+	XMLName    xml.Name   `xml:"config_pes"`
+	Layout     int        `xml:"layout,attr"`
+	TotalNodes int        `xml:"total_nodes,attr"`
+	Entries    []xmlEntry `xml:"entry"`
+}
+
+type xmlEntry struct {
+	Component string `xml:"component,attr"`
+	NTasks    int    `xml:"ntasks,attr"`
+	NThreads  int    `xml:"nthrds,attr"`
+	RootPE    int    `xml:"rootpe,attr"`
+}
+
+// WriteXML serializes the layout in env_mach_pes.xml style.
+func (p *PELayout) WriteXML(w io.Writer) error {
+	out := xmlLayout{Layout: int(p.Layout) + 1, TotalNodes: p.TotalNodes}
+	comps := make([]Component, 0, len(p.Entries))
+	for c := range p.Entries {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+	for _, c := range comps {
+		e := p.Entries[c]
+		out.Entries = append(out.Entries, xmlEntry{
+			Component: c.String(), NTasks: e.NTasks, NThreads: e.NThreads, RootPE: e.RootPE,
+		})
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ParsePELayoutXML reads a layout previously written with WriteXML.
+func ParsePELayoutXML(r io.Reader) (*PELayout, error) {
+	var in xmlLayout
+	if err := xml.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("cesm: parsing pelayout: %w", err)
+	}
+	if in.Layout < 1 || in.Layout > 3 {
+		return nil, fmt.Errorf("cesm: pelayout has invalid layout %d", in.Layout)
+	}
+	p := &PELayout{
+		Layout:     Layout(in.Layout - 1),
+		TotalNodes: in.TotalNodes,
+		Entries:    map[Component]PEEntry{},
+	}
+	for _, e := range in.Entries {
+		c, err := parseComponent(e.Component)
+		if err != nil {
+			return nil, err
+		}
+		p.Entries[c] = PEEntry{NTasks: e.NTasks, NThreads: e.NThreads, RootPE: e.RootPE}
+	}
+	return p, p.Validate()
+}
+
+func parseComponent(s string) (Component, error) {
+	for c := ATM; c <= CPL; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("cesm: unknown component %q", s)
+}

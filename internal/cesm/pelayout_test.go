@@ -1,0 +1,122 @@
+package cesm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func paperAlloc128() Allocation {
+	return Allocation{Atm: 104, Ocn: 24, Ice: 80, Lnd: 24}
+}
+
+func TestNewPELayout1(t *testing.T) {
+	p, err := NewPELayout(Layout1, 128, paperAlloc128())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Layout-1 placement rules.
+	if p.Entries[ICE].RootPE != 0 {
+		t.Errorf("ice root = %d", p.Entries[ICE].RootPE)
+	}
+	if p.Entries[LND].RootPE != 80 {
+		t.Errorf("lnd root = %d, want 80 (after ice)", p.Entries[LND].RootPE)
+	}
+	if p.Entries[OCN].RootPE != 104 {
+		t.Errorf("ocn root = %d, want 104 (after atm)", p.Entries[OCN].RootPE)
+	}
+	// Coupler on the atmosphere nodes, river on the land nodes (§II).
+	if p.Entries[CPL].RootPE != 0 || p.Entries[CPL].NTasks != 104 {
+		t.Errorf("cpl entry %+v", p.Entries[CPL])
+	}
+	if p.Entries[RTM].RootPE != p.Entries[LND].RootPE {
+		t.Errorf("rtm root %d != lnd root %d", p.Entries[RTM].RootPE, p.Entries[LND].RootPE)
+	}
+	// 4 threads per node, Intrepid style.
+	if p.Entries[ATM].NThreads != CoresPerNode {
+		t.Errorf("threads = %d", p.Entries[ATM].NThreads)
+	}
+}
+
+func TestNewPELayoutRejectsInvalidAlloc(t *testing.T) {
+	if _, err := NewPELayout(Layout1, 128, Allocation{Atm: 104, Ocn: 40, Ice: 80, Lnd: 24}); err == nil {
+		t.Fatal("atm+ocn > N accepted")
+	}
+}
+
+func TestPELayoutXMLRoundTrip(t *testing.T) {
+	p, err := NewPELayout(Layout1, 128, paperAlloc128())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	xml := buf.String()
+	for _, want := range []string{`<config_pes layout="1" total_nodes="128">`,
+		`component="atm"`, `ntasks="104"`, `rootpe="104"`} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("xml missing %q:\n%s", want, xml)
+		}
+	}
+	back, err := ParsePELayoutXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalNodes != p.TotalNodes || back.Layout != p.Layout {
+		t.Fatalf("round trip header mismatch: %+v", back)
+	}
+	for c, e := range p.Entries {
+		if back.Entries[c] != e {
+			t.Fatalf("%v round trip: %+v != %+v", c, back.Entries[c], e)
+		}
+	}
+}
+
+func TestParsePELayoutXMLRejectsBad(t *testing.T) {
+	cases := []string{
+		`not xml at all`,
+		`<config_pes layout="9" total_nodes="10"></config_pes>`,
+		`<config_pes layout="1" total_nodes="10"><entry component="xyz" ntasks="1" nthrds="4" rootpe="0"/></config_pes>`,
+		// ocean overlapping atmosphere in layout 1:
+		`<config_pes layout="1" total_nodes="128">
+		   <entry component="atm" ntasks="104" nthrds="4" rootpe="0"/>
+		   <entry component="ocn" ntasks="24" nthrds="4" rootpe="100"/>
+		   <entry component="ice" ntasks="80" nthrds="4" rootpe="0"/>
+		   <entry component="lnd" ntasks="24" nthrds="4" rootpe="80"/>
+		 </config_pes>`,
+		// component spilling off the machine:
+		`<config_pes layout="3" total_nodes="10"><entry component="atm" ntasks="11" nthrds="4" rootpe="0"/></config_pes>`,
+	}
+	for i, src := range cases {
+		if _, err := ParsePELayoutXML(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPELayout23Placement(t *testing.T) {
+	p2, err := NewPELayout(Layout2, 100, Allocation{Atm: 60, Ocn: 40, Ice: 50, Lnd: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Entries[OCN].RootPE != 60 {
+		t.Errorf("layout2 ocn root = %d, want 60", p2.Entries[OCN].RootPE)
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := NewPELayout(Layout3, 100, Allocation{Atm: 100, Ocn: 100, Ice: 100, Lnd: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, e := range p3.Entries {
+		if e.RootPE != 0 {
+			t.Errorf("layout3 %v root = %d", c, e.RootPE)
+		}
+	}
+}

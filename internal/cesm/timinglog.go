@@ -1,0 +1,171 @@
+package cesm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the CESM timing-file surface: the paper's gather
+// step reads component wall-clock times out of CESM's run output ("the
+// wall-clock times used for fitting ... found in the CESM output files",
+// §III-C). The simulator can emit timing profiles in that style and the
+// parser recovers the numbers, so campaigns can flow through the same text
+// artifact a real deployment would.
+
+// TimingProfile couples a run's configuration summary with its timings.
+type TimingProfile struct {
+	Resolution Resolution
+	Layout     Layout
+	TotalNodes int
+	Days       int
+	Alloc      Allocation
+	Timing     Timing
+}
+
+// WriteTimingLog renders the profile in a CESM-timing-file-like format.
+func WriteTimingLog(w io.Writer, p *TimingProfile) error {
+	bw := bufio.NewWriter(w)
+	days := p.Days
+	if days == 0 {
+		days = 5
+	}
+	fmt.Fprintln(bw, "---------------- CESM TIMING PROFILE ----------------")
+	fmt.Fprintf(bw, "  grid        : %s\n", p.Resolution)
+	fmt.Fprintf(bw, "  layout      : %d\n", int(p.Layout)+1)
+	fmt.Fprintf(bw, "  run length  : %d days\n", days)
+	fmt.Fprintf(bw, "  total nodes : %d (pes %d)\n", p.TotalNodes, p.TotalNodes*CoresPerNode)
+	fmt.Fprintln(bw)
+	write := func(tag string, nodes int, secs float64) {
+		fmt.Fprintf(bw, "  %-3s Run Time: %12.3f seconds  (nodes %d)\n",
+			tag, secs, nodes)
+	}
+	write("TOT", p.TotalNodes, p.Timing.Total)
+	write("ATM", p.Alloc.Atm, p.Timing.Comp[ATM])
+	write("OCN", p.Alloc.Ocn, p.Timing.Comp[OCN])
+	write("ICE", p.Alloc.Ice, p.Timing.Comp[ICE])
+	write("LND", p.Alloc.Lnd, p.Timing.Comp[LND])
+	write("ROF", p.Alloc.Lnd, p.Timing.RTM)
+	write("CPL", p.Alloc.Atm, p.Timing.CPL)
+	fmt.Fprintln(bw, "------------------------------------------------------")
+	return bw.Flush()
+}
+
+// RunToLog executes a configuration and writes its timing log.
+func RunToLog(w io.Writer, cfg Config) error {
+	tm, err := Run(cfg)
+	if err != nil {
+		return err
+	}
+	return WriteTimingLog(w, &TimingProfile{
+		Resolution: cfg.Resolution,
+		Layout:     cfg.Layout,
+		TotalNodes: cfg.TotalNodes,
+		Days:       cfg.Days,
+		Alloc:      cfg.Alloc,
+		Timing:     *tm,
+	})
+}
+
+// ParseTimingLog reads a profile previously written by WriteTimingLog (or
+// hand-edited in the same shape).
+func ParseTimingLog(r io.Reader) (*TimingProfile, error) {
+	p := &TimingProfile{Timing: Timing{Comp: map[Component]float64{}}}
+	sc := bufio.NewScanner(r)
+	sawHeader := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "-----"):
+			sawHeader = true
+		case strings.HasPrefix(line, "grid"):
+			v := fieldValue(line)
+			switch v {
+			case Res1Deg.String():
+				p.Resolution = Res1Deg
+			case Res8thDeg.String():
+				p.Resolution = Res8thDeg
+			default:
+				return nil, fmt.Errorf("cesm: timing log has unknown grid %q", v)
+			}
+		case strings.HasPrefix(line, "layout"):
+			n, err := strconv.Atoi(fieldValue(line))
+			if err != nil || n < 1 || n > 3 {
+				return nil, fmt.Errorf("cesm: timing log has bad layout %q", fieldValue(line))
+			}
+			p.Layout = Layout(n - 1)
+		case strings.HasPrefix(line, "run length"):
+			var d int
+			if _, err := fmt.Sscanf(fieldValue(line), "%d days", &d); err == nil {
+				p.Days = d
+			}
+		case strings.HasPrefix(line, "total nodes"):
+			var n, pes int
+			if _, err := fmt.Sscanf(fieldValue(line), "%d (pes %d)", &n, &pes); err != nil {
+				return nil, fmt.Errorf("cesm: timing log has bad total nodes line %q", line)
+			}
+			p.TotalNodes = n
+		case strings.Contains(line, "Run Time:"):
+			tag, nodes, secs, err := parseRunTime(line)
+			if err != nil {
+				return nil, err
+			}
+			switch tag {
+			case "TOT":
+				p.Timing.Total = secs
+			case "ATM":
+				p.Timing.Comp[ATM] = secs
+				p.Alloc.Atm = nodes
+			case "OCN":
+				p.Timing.Comp[OCN] = secs
+				p.Alloc.Ocn = nodes
+			case "ICE":
+				p.Timing.Comp[ICE] = secs
+				p.Alloc.Ice = nodes
+			case "LND":
+				p.Timing.Comp[LND] = secs
+				p.Alloc.Lnd = nodes
+			case "ROF":
+				p.Timing.RTM = secs
+			case "CPL":
+				p.Timing.CPL = secs
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader || p.TotalNodes == 0 || len(p.Timing.Comp) < 4 {
+		return nil, fmt.Errorf("cesm: not a timing log (header %v, nodes %d, comps %d)",
+			sawHeader, p.TotalNodes, len(p.Timing.Comp))
+	}
+	return p, nil
+}
+
+func fieldValue(line string) string {
+	if i := strings.Index(line, ":"); i >= 0 {
+		return strings.TrimSpace(line[i+1:])
+	}
+	return ""
+}
+
+func parseRunTime(line string) (tag string, nodes int, secs float64, err error) {
+	fields := strings.Fields(line)
+	// TAG Run Time: SECS seconds (nodes N)
+	if len(fields) < 7 {
+		return "", 0, 0, fmt.Errorf("cesm: bad run-time line %q", line)
+	}
+	tag = fields[0]
+	secs, err = strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("cesm: bad seconds in %q", line)
+	}
+	nStr := strings.TrimSuffix(fields[6], ")")
+	nodes, err = strconv.Atoi(nStr)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("cesm: bad node count in %q", line)
+	}
+	return tag, nodes, secs, nil
+}

@@ -1,0 +1,105 @@
+package cesm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimingLogRoundTrip(t *testing.T) {
+	cfg := Config{
+		Resolution: Res1Deg, Layout: Layout1, TotalNodes: 128,
+		Alloc: Allocation{Atm: 104, Ocn: 24, Ice: 80, Lnd: 24}, Seed: 9,
+	}
+	tm, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTimingLog(&buf, &TimingProfile{
+		Resolution: cfg.Resolution, Layout: cfg.Layout,
+		TotalNodes: cfg.TotalNodes, Alloc: cfg.Alloc, Timing: *tm,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	log := buf.String()
+	for _, want := range []string{"CESM TIMING PROFILE", "TOT Run Time:", "ATM Run Time:", "(nodes 104)"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log missing %q:\n%s", want, log)
+		}
+	}
+	p, err := ParseTimingLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Resolution != Res1Deg || p.Layout != Layout1 || p.TotalNodes != 128 {
+		t.Fatalf("header round trip: %+v", p)
+	}
+	if p.Alloc != cfg.Alloc {
+		t.Fatalf("alloc round trip: %+v", p.Alloc)
+	}
+	for _, c := range OptimizedComponents {
+		if math.Abs(p.Timing.Comp[c]-tm.Comp[c]) > 0.001 {
+			t.Fatalf("%v time round trip: %v vs %v", c, p.Timing.Comp[c], tm.Comp[c])
+		}
+	}
+	if math.Abs(p.Timing.Total-tm.Total) > 0.001 {
+		t.Fatalf("total round trip: %v vs %v", p.Timing.Total, tm.Total)
+	}
+	if p.Timing.RTM <= 0 || p.Timing.CPL <= 0 {
+		t.Fatal("rof/cpl rows lost")
+	}
+}
+
+func TestRunToLog(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunToLog(&buf, Config{
+		Resolution: Res8thDeg, Layout: Layout1, TotalNodes: 8192,
+		Alloc: Allocation{Atm: 5836, Ocn: 2356, Ice: 5350, Lnd: 486}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseTimingLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Resolution != Res8thDeg || p.Alloc.Ocn != 2356 {
+		t.Fatalf("parsed %+v", p)
+	}
+	// Paper's 1/8° 8192 manual total ballpark.
+	if p.Timing.Total < 3400 || p.Timing.Total > 4100 {
+		t.Fatalf("total %v out of calibrated band", p.Timing.Total)
+	}
+}
+
+func TestParseTimingLogRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"hello world",
+		"---------------- CESM TIMING PROFILE ----------------\n  grid : marsdeg\n",
+		"---------------- CESM TIMING PROFILE ----------------\n  layout : 9\n",
+		"---------------- CESM TIMING PROFILE ----------------\n  total nodes : xyz\n",
+		"---------------- CESM TIMING PROFILE ----------------\n  ATM Run Time: bad seconds (nodes 4)\n",
+	}
+	for i, src := range cases {
+		if _, err := ParseTimingLog(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseTimingLogMissingComponents(t *testing.T) {
+	src := `---------------- CESM TIMING PROFILE ----------------
+  grid        : 1deg
+  layout      : 1
+  total nodes : 128 (pes 512)
+  TOT Run Time:      416.006 seconds  (nodes 128)
+  ATM Run Time:      306.952 seconds  (nodes 104)
+------------------------------------------------------
+`
+	if _, err := ParseTimingLog(strings.NewReader(src)); err == nil {
+		t.Fatal("log without all four components accepted")
+	}
+}

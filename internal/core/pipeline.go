@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"hslb/internal/bench"
+	"hslb/internal/cesm"
+	"hslb/internal/minlp"
+	"hslb/internal/perf"
+)
+
+// PipelineOptions configures a full HSLB run (§III-F).
+type PipelineOptions struct {
+	// Campaign is the step-1 benchmark plan. Its Resolution/Layout must
+	// match the Spec.
+	Campaign bench.Campaign
+	// Spec describes the allocation problem; Spec.Perf is filled in by the
+	// pipeline from the fits.
+	Spec Spec
+	// Fit configures step 2.
+	Fit perf.FitOptions
+	// Solver configures step 3; zero value uses SolverOptions().
+	Solver minlp.Options
+	// ExecuteSeed seeds the final validation run (step 4).
+	ExecuteSeed int64
+	// Data, if non-nil, skips step 1 and reuses existing benchmark data —
+	// the paper notes gathering "can be avoided altogether if reliable
+	// benchmarks are already available".
+	Data *bench.Data
+}
+
+// PipelineResult carries the artifacts of all four steps.
+type PipelineResult struct {
+	Data      *bench.Data
+	Fits      map[cesm.Component]*perf.FitResult
+	Decision  *Decision
+	Execution *cesm.Timing
+}
+
+// RunPipeline executes the four HSLB steps end to end:
+//  1. Gather: benchmark runs at the campaign's node counts.
+//  2. Fit: constrained least squares per component (Table II).
+//  3. Solve: the Table I MINLP for the optimal allocation.
+//  4. Execute: a CESM run with the chosen allocation.
+func RunPipeline(po PipelineOptions) (*PipelineResult, error) {
+	out := &PipelineResult{}
+
+	// Step 1: gather.
+	if po.Data != nil {
+		out.Data = po.Data
+	} else {
+		data, err := po.Campaign.Run()
+		if err != nil {
+			return nil, fmt.Errorf("core: gather step: %w", err)
+		}
+		out.Data = data
+	}
+
+	// Step 2: fit.
+	fits, err := out.Data.FitAll(po.Fit)
+	if err != nil {
+		return nil, fmt.Errorf("core: fit step: %w", err)
+	}
+	out.Fits = fits
+
+	// Step 3: solve.
+	spec := po.Spec
+	spec.Perf = bench.Models(fits)
+	solver := po.Solver
+	if solver.Algorithm == 0 && !solver.BranchSOS && solver.MaxNodes == 0 {
+		solver = SolverOptions()
+	}
+	dec, err := SolveAllocation(spec, solver)
+	if err != nil {
+		return nil, fmt.Errorf("core: solve step: %w", err)
+	}
+	out.Decision = dec
+
+	// Step 4: execute.
+	timing, err := cesm.Run(cesm.Config{
+		Resolution: spec.Resolution,
+		Layout:     spec.Layout,
+		TotalNodes: spec.TotalNodes,
+		Alloc:      dec.Alloc,
+		Seed:       po.ExecuteSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: execute step: %w", err)
+	}
+	out.Execution = timing
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"hslb/internal/bench"
+	"hslb/internal/cesm"
+	"hslb/internal/perf"
+)
+
+// These tests inject the failure modes §IV warns about — bad benchmark
+// data, too few samples, a poorly sampled component — and check that the
+// pipeline either degrades gracefully or fails loudly.
+
+func gather(t *testing.T, seed int64) *bench.Data {
+	t.Helper()
+	data, err := bench.Campaign{
+		Resolution: cesm.Res1Deg,
+		Layout:     cesm.Layout1,
+		NodeCounts: perf.SamplingPlan(64, 2048, 6),
+		Seed:       seed,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestOutlierSpikeDegradesFitButNotPipeline(t *testing.T) {
+	data := gather(t, 31)
+	// A queue hiccup: one atmosphere sample is 5x too slow.
+	clean, err := data.FitAll(perf.FitOptions{ConvexExponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spiked := data.Samples[cesm.ATM][2]
+	data.Samples[cesm.ATM][2].Time = spiked.Time * 5
+
+	fits, err := data.FitAll(perf.FitOptions{ConvexExponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits[cesm.ATM].R2 >= clean[cesm.ATM].R2 {
+		t.Errorf("outlier did not degrade R²: %v vs clean %v",
+			fits[cesm.ATM].R2, clean[cesm.ATM].R2)
+	}
+	// The solve step must still produce an executable allocation.
+	dec, err := SolveAllocation(Spec{
+		Resolution: cesm.Res1Deg, Layout: cesm.Layout1, TotalNodes: 128,
+		Perf: bench.Models(fits), ConstrainOcean: true, ConstrainAtm: true,
+	}, SolverOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cesm.ValidateConfig(cesm.Config{
+		Resolution: cesm.Res1Deg, Layout: cesm.Layout1, TotalNodes: 128, Alloc: dec.Alloc,
+	}); err != nil {
+		t.Fatalf("allocation from contaminated fit invalid: %v", err)
+	}
+}
+
+func TestTooFewSamplesFailsLoudly(t *testing.T) {
+	data, err := bench.Campaign{
+		Resolution: cesm.Res1Deg,
+		Layout:     cesm.Layout1,
+		NodeCounts: []int{128, 512, 2048}, // only 3 counts < 4 required
+		Seed:       1,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := data.FitAll(perf.FitOptions{}); err == nil {
+		t.Fatal("3-point fit accepted; §III-C requires at least 4")
+	}
+}
+
+func TestRepeatedCountsStillFit(t *testing.T) {
+	// All benchmark runs at the same pair of node counts (degenerate
+	// spread): the fit must not crash, though extrapolation quality is
+	// naturally poor.
+	data, err := bench.Campaign{
+		Resolution: cesm.Res1Deg,
+		Layout:     cesm.Layout1,
+		NodeCounts: []int{128, 128, 512, 512},
+		Seed:       2,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits, err := data.FitAll(perf.FitOptions{ConvexExponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, f := range fits {
+		if f.Model.Eval(256) <= 0 {
+			t.Errorf("%v: nonpositive interpolation from degenerate data", c)
+		}
+	}
+}
+
+func TestNoiseAveragingImprovesFit(t *testing.T) {
+	// More repeats per count should (weakly) improve the noisy ice fit.
+	one, err := bench.Campaign{
+		Resolution: cesm.Res1Deg, Layout: cesm.Layout1,
+		NodeCounts: perf.SamplingPlan(64, 2048, 6), Repeats: 1, Seed: 5,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := bench.Campaign{
+		Resolution: cesm.Res1Deg, Layout: cesm.Layout1,
+		NodeCounts: perf.SamplingPlan(64, 2048, 6), Repeats: 6, Seed: 5,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := one.FitAll(perf.FitOptions{ConvexExponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := many.FitAll(perf.FitOptions{ConvexExponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare prediction error against the smooth machine truth for ICE.
+	truth := cesm.TruthModel(cesm.Res1Deg, cesm.ICE)
+	errOf := func(m perf.Model) float64 {
+		worst := 0.0
+		for _, n := range []float64{100, 300, 900} {
+			rel := (m.Eval(n) - truth.Eval(n)) / truth.Eval(n)
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > worst {
+				worst = rel
+			}
+		}
+		return worst
+	}
+	if errOf(f6[cesm.ICE].Model) > errOf(f1[cesm.ICE].Model)*1.5 {
+		t.Errorf("averaging made the ice fit much worse: %v vs %v",
+			errOf(f6[cesm.ICE].Model), errOf(f1[cesm.ICE].Model))
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hslb/internal/cesm"
+	"hslb/internal/minlp"
+)
+
+// SolverOptions wraps the MINLP options with HSLB defaults: the LP/NLP
+// branch-and-bound with SOS branching, the setup §III-E reports as two
+// orders of magnitude faster than branching on individual binaries.
+func SolverOptions() minlp.Options {
+	return minlp.Options{
+		Algorithm: minlp.OuterApprox,
+		BranchSOS: true,
+		// A 0.01% relative gap: total times are hundreds to thousands of
+		// seconds, so sub-millisecond allocation differences are noise and
+		// resolving them would blow up the tree on large machines.
+		RelGap: 1e-4,
+	}
+}
+
+// SolveAllocation builds and solves the Table I model for the spec (HSLB
+// step 3) and returns the optimal allocation with predicted times.
+func SolveAllocation(s Spec, opt minlp.Options) (*Decision, error) {
+	if s.Objective == MaxMin && opt.Algorithm == minlp.OuterApprox {
+		// The MaxMin constraint set is nonconvex; outer approximation cuts
+		// would be unsound. Fall back to NLP-based branch and bound.
+		opt.Algorithm = minlp.NLPBB
+	}
+	m, vars, err := BuildModel(s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := minlp.Solve(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != minlp.Optimal {
+		return nil, fmt.Errorf("core: MINLP solve ended with status %v after %d nodes", res.Status, res.Nodes)
+	}
+	var alloc cesm.Allocation
+	for _, c := range cesm.OptimizedComponents {
+		alloc.Set(c, int(math.Round(res.X[vars.N[c]])))
+	}
+	d := &Decision{
+		Alloc:         alloc,
+		PredictedComp: map[cesm.Component]float64{},
+		Nodes:         res.Nodes,
+		NLPSolves:     res.NLPSolves,
+		Cuts:          res.Cuts,
+	}
+	for _, c := range cesm.OptimizedComponents {
+		d.PredictedComp[c] = s.Perf[c].Eval(float64(alloc.Get(c)))
+	}
+	d.PredictedTime = cesm.ComposeTotal(s.Layout, d.PredictedComp)
+	return d, nil
+}
+
+// PredictTotal evaluates the spec's fitted models at an arbitrary
+// allocation and composes the layout total — the "HSLB predicted time" the
+// paper prints for comparison against actual runs.
+func PredictTotal(s Spec, alloc cesm.Allocation) (float64, map[cesm.Component]float64) {
+	comp := map[cesm.Component]float64{}
+	for _, c := range cesm.OptimizedComponents {
+		comp[c] = s.Perf[c].Eval(float64(alloc.Get(c)))
+	}
+	return cesm.ComposeTotal(s.Layout, comp), comp
+}
+
+// TuneToSweetSpots adjusts a predicted allocation toward known sweet spots,
+// as the paper did for the final 1/8° 32768-node run ("chosen based on the
+// HSLB predicted nodes but adjusting node counts toward known component
+// sweet spots"). The atmosphere and ocean are snapped to their
+// decomposition granularity or set; ice+land are then repaired to fit the
+// layout-1 sharing constraint.
+func TuneToSweetSpots(s Spec, alloc cesm.Allocation) cesm.Allocation {
+	out := alloc
+	if s.Resolution == cesm.Res8thDeg {
+		out.Atm = cesm.SnapToMultiple(out.Atm, cesm.AtmNodeMultiple)
+		out.Ocn = cesm.SnapToMultiple(out.Ocn, cesm.OceanNodeMultiple)
+	} else {
+		out.Atm = cesm.SnapToSweetSpot(out.Atm, cesm.AtmSet(s.Resolution, s.TotalNodes))
+		out.Ocn = cesm.SnapToSweetSpot(out.Ocn, cesm.OceanSet(s.Resolution))
+	}
+	if out.Atm+out.Ocn > s.TotalNodes {
+		out.Atm = s.TotalNodes - out.Ocn
+	}
+	if s.Layout == cesm.Layout1 && out.Ice+out.Lnd > out.Atm {
+		// Keep the ice/land ratio, shrink into the atmosphere share.
+		ratio := float64(out.Ice) / float64(out.Ice+out.Lnd)
+		out.Ice = int(ratio * float64(out.Atm))
+		if out.Ice < 1 {
+			out.Ice = 1
+		}
+		out.Lnd = out.Atm - out.Ice
+		if out.Lnd < 1 {
+			out.Lnd = 1
+			out.Ice = out.Atm - 1
+		}
+	}
+	return out
+}

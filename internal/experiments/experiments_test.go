@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"hslb/internal/cesm"
+	"hslb/internal/core"
+)
+
+// within reports |got-want|/want <= rel.
+func within(got, want, rel float64) bool {
+	return math.Abs(got-want) <= rel*math.Abs(want)
+}
+
+func TestTable3Block1Deg128(t *testing.T) {
+	r, err := RunTable3Block("1deg-128", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual baseline must land near the paper's 416 s.
+	if !within(r.ManualTotal, r.Block.ManualTotal, 0.05) {
+		t.Errorf("manual total %v, paper %v", r.ManualTotal, r.Block.ManualTotal)
+	}
+	// HSLB prediction near the paper's 410.6 s band, and no worse than
+	// the manual baseline by more than noise.
+	if !within(r.Decision.PredictedTime, r.Block.HSLBPredicted, 0.08) {
+		t.Errorf("HSLB predicted %v, paper %v", r.Decision.PredictedTime, r.Block.HSLBPredicted)
+	}
+	if r.Actual > r.ManualTotal*1.06 {
+		t.Errorf("HSLB actual %v clearly worse than manual %v", r.Actual, r.ManualTotal)
+	}
+	// Prediction quality: predicted within 10% of actual.
+	if !within(r.Decision.PredictedTime, r.Actual, 0.10) {
+		t.Errorf("predicted %v vs actual %v", r.Decision.PredictedTime, r.Actual)
+	}
+}
+
+func TestTable3Block8th32768Unconstrained(t *testing.T) {
+	r, err := RunTable3Block("8th-32768-uncon", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline: a large improvement over the manual baseline (paper:
+	// 25% actual, 40% predicted vs constrained HSLB).
+	gain := 1 - r.Actual/r.ManualTotal
+	if gain < 0.10 {
+		t.Errorf("actual gain only %.0f%% (manual %v, hslb %v); paper ≈ 24%%",
+			gain*100, r.ManualTotal, r.Actual)
+	}
+	// Shape: ocean gets far more nodes than the constrained sets allowed.
+	if r.Decision.Alloc.Ocn <= 6124 {
+		t.Errorf("unconstrained ocean still small: %v", r.Decision.Alloc)
+	}
+	if r.Decision.Alloc.Ocn%4 != 0 || r.Decision.Alloc.Atm%4 != 0 {
+		t.Errorf("granularity violated: %v", r.Decision.Alloc)
+	}
+}
+
+func TestTable3ReportRenders(t *testing.T) {
+	r, err := RunTable3Block("1deg-128", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table3Report([]*Table3Result{r}).String()
+	for _, want := range []string{"1deg-128", "atm", "ocn", "TOTAL", "[416.006]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2CurvesAndFits(t *testing.T) {
+	f, err := RunFig2(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: R² very close to 1 for every component; ice is the noisy one.
+	for _, c := range []cesm.Component{cesm.ATM, cesm.OCN, cesm.LND} {
+		if f.Fits[c].R2 < 0.995 {
+			t.Errorf("%v R² = %v", c, f.Fits[c].R2)
+		}
+	}
+	if f.Fits[cesm.ICE].R2 > f.Fits[cesm.ATM].R2 {
+		t.Errorf("ice fit (R²=%v) should be worse than atm (R²=%v)",
+			f.Fits[cesm.ICE].R2, f.Fits[cesm.ATM].R2)
+	}
+	// Decomposition sanity at a reference count: terms sum to the total,
+	// and the serial floor dominates the scalable term at huge counts.
+	m := f.Fits[cesm.ATM].Model
+	if m.ScalableTerm(1e6) > m.SerialTerm() {
+		t.Error("serial term should dominate at extreme node counts (Amdahl)")
+	}
+	chart := f.Chart().String()
+	if !strings.Contains(chart, "atm") || !strings.Contains(chart, "log scale") {
+		t.Error("figure 2 chart malformed")
+	}
+	table := f.Table(104).String()
+	if !strings.Contains(table, "T_sca") {
+		t.Error("figure 2 table malformed")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	pts, err := RunFig3(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		// HSLB actual should beat or match the human guess (paper's core
+		// message), with a small tolerance for machine noise.
+		if p.HSLBActual > p.HumanTotal*1.05 {
+			t.Errorf("n=%d constrained=%v: HSLB %v worse than human %v",
+				p.TotalNodes, p.Constrained, p.HSLBActual, p.HumanTotal)
+		}
+		// Prediction within 12% of actual.
+		if !within(p.HSLBPredicted, p.HSLBActual, 0.12) {
+			t.Errorf("n=%d: predicted %v vs actual %v", p.TotalNodes, p.HSLBPredicted, p.HSLBActual)
+		}
+	}
+	// Unconstrained at 32768 must clearly beat constrained (paper: 25-40%).
+	var con, uncon float64
+	for _, p := range pts {
+		if p.TotalNodes == 32768 {
+			if p.Constrained {
+				con = p.HSLBActual
+			} else {
+				uncon = p.HSLBActual
+			}
+		}
+	}
+	if uncon >= con {
+		t.Errorf("32768: unconstrained %v not better than constrained %v", uncon, con)
+	}
+	if !strings.Contains(Fig3Table(pts).String(), "unconstrained") {
+		t.Error("figure 3 table malformed")
+	}
+}
+
+func TestFig4LayoutOrderingAndR2(t *testing.T) {
+	pts, r2, err := RunFig4(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: layout-1 prediction vs experiment R² = 1.0.
+	if r2 < 0.98 {
+		t.Errorf("layout-1 prediction R² = %v, paper reports 1.0", r2)
+	}
+	// Layouts 1 and 2 similar; layout 3 worst — at every size.
+	byLayout := map[cesm.Layout]map[int]float64{}
+	for _, p := range pts {
+		if byLayout[p.Layout] == nil {
+			byLayout[p.Layout] = map[int]float64{}
+		}
+		byLayout[p.Layout][p.TotalNodes] = p.Predicted
+	}
+	for n, l3 := range byLayout[cesm.Layout3] {
+		if l3 <= byLayout[cesm.Layout1][n] || l3 <= byLayout[cesm.Layout2][n] {
+			t.Errorf("n=%d: layout3 (%v) not worst (l1 %v, l2 %v)",
+				n, l3, byLayout[cesm.Layout1][n], byLayout[cesm.Layout2][n])
+		}
+		ratio := byLayout[cesm.Layout2][n] / byLayout[cesm.Layout1][n]
+		if ratio < 0.9 || ratio > 1.6 {
+			t.Errorf("n=%d: layouts 1/2 not similar: %v vs %v", n, byLayout[cesm.Layout1][n], byLayout[cesm.Layout2][n])
+		}
+	}
+	if !strings.Contains(Fig4Chart(pts).String(), "layout3") {
+		t.Error("figure 4 chart malformed")
+	}
+}
+
+func TestSolveAtScaleUnder60s(t *testing.T) {
+	r, err := RunSolveAtScale(40960, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "the MINLP for 40960 nodes took less than 60 seconds to solve
+	// on one core".
+	if r.Elapsed > 60*time.Second {
+		t.Fatalf("solve took %v, paper claims < 60 s", r.Elapsed)
+	}
+	if r.Decision.Alloc.Atm+r.Decision.Alloc.Ocn > 40960 {
+		t.Fatalf("invalid allocation %v", r.Decision.Alloc)
+	}
+	t.Logf("40960-node MINLP solved in %v (%d nodes)", r.Elapsed, r.Decision.Nodes)
+}
+
+func TestSOSAblationDirection(t *testing.T) {
+	r, err := RunSOSAblation(512, 17, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BinPredicted > 0 && !within(r.BinPredicted, r.SOSPredicted, 0.02) {
+		t.Errorf("branching rules disagree: sos %v vs binary %v", r.SOSPredicted, r.BinPredicted)
+	}
+	if r.BinaryNodes < r.SOSNodes {
+		t.Errorf("binary branching used fewer nodes (%d) than SOS (%d)", r.BinaryNodes, r.SOSNodes)
+	}
+	t.Logf("nodes: sos=%d binary=%d (%.0fx); time: sos=%v binary=%v",
+		r.SOSNodes, r.BinaryNodes, float64(r.BinaryNodes)/float64(r.SOSNodes),
+		r.SOSElapsed, r.BinaryElapsed)
+	if !strings.Contains(ClaimsTable(nil, r).String(), "SOS") {
+		t.Error("claims table malformed")
+	}
+}
+
+func TestObjectiveAblation(t *testing.T) {
+	r, err := RunObjectiveAblation(128, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minmax, ok1 := r.Totals[core.MinMax]
+	minsum, ok2 := r.Totals[core.MinSum]
+	if !ok1 || !ok2 {
+		t.Fatalf("objectives missing: %v", r.Totals)
+	}
+	// §III-D: min-max is the right objective; min-sum is worse (or equal)
+	// at the composed-total goal.
+	if minmax > minsum*1.001 {
+		t.Errorf("min-max (%v) worse than min-sum (%v)", minmax, minsum)
+	}
+}
+
+func TestMLIceExperiment(t *testing.T) {
+	r, err := RunMLIce(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Eval.MLTime >= r.Eval.DefaultTime {
+		t.Errorf("ML (%v) not better than default (%v)", r.Eval.MLTime, r.Eval.DefaultTime)
+	}
+	if r.Eval.OracleTime > r.Eval.MLTime+1e-9 {
+		// oracle must be the lower bound
+	} else if r.Eval.MLTime < r.Eval.OracleTime-1e-9 {
+		t.Errorf("ML (%v) beats the oracle (%v)?", r.Eval.MLTime, r.Eval.OracleTime)
+	}
+}
+
+func TestTuningCostComparison(t *testing.T) {
+	r, err := RunTuningCost(cesm.Res8thDeg, 32768, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HSLBRuns < 5 || r.ManualRuns < 2 {
+		t.Fatalf("run counts implausible: %+v", r)
+	}
+	// At high resolution the expert's repeated full-machine submissions
+	// must cost more compute than HSLB's short campaign (§II).
+	if r.HSLBCoreHours >= r.ManualCoreHours {
+		t.Errorf("HSLB tuning cost %.0f core-h not below manual %.0f",
+			r.HSLBCoreHours, r.ManualCoreHours)
+	}
+	// And the result should be at least as good.
+	if r.HSLBFinal > r.ManualFinal*1.05 {
+		t.Errorf("HSLB result %v clearly worse than manual %v", r.HSLBFinal, r.ManualFinal)
+	}
+	if !strings.Contains(TuningCostTable(r).String(), "manual expert") {
+		t.Error("tuning cost table malformed")
+	}
+}

@@ -1,0 +1,210 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§IV) on the simulated machine: Table III (manual vs
+// HSLB at 1° and 1/8°, constrained and unconstrained ocean), Figure 2
+// (component scaling curves and fitted term decomposition), Figure 3 (1/8°
+// human/predicted/actual comparison), Figure 4 (layout 1-3 scaling), plus
+// the §III-E solver claims (40960-node solve time, SOS-branching speedup)
+// and the §III-D objective comparison.
+package experiments
+
+import (
+	"fmt"
+
+	"hslb/internal/bench"
+	"hslb/internal/cesm"
+	"hslb/internal/core"
+	"hslb/internal/perf"
+	"hslb/internal/report"
+)
+
+// PaperTable3Block holds the published numbers for one block of Table III.
+type PaperTable3Block struct {
+	Name           string
+	Resolution     cesm.Resolution
+	TotalNodes     int
+	ConstrainOcean bool
+	// Paper's manual ("human optimization") row.
+	ManualAlloc cesm.Allocation
+	ManualTotal float64
+	// Paper's HSLB rows.
+	HSLBAlloc     cesm.Allocation
+	HSLBPredicted float64
+	HSLBActual    float64
+}
+
+// Table3Blocks are the six blocks of Table III with the paper's numbers.
+// The unconstrained blocks have no manual row of their own; the paper
+// compares them against the constrained results, so ManualAlloc/-Total
+// repeat the constrained manual baseline.
+var Table3Blocks = []PaperTable3Block{
+	{
+		Name: "1deg-128", Resolution: cesm.Res1Deg, TotalNodes: 128, ConstrainOcean: true,
+		ManualAlloc: cesm.Allocation{Lnd: 24, Ice: 80, Atm: 104, Ocn: 24}, ManualTotal: 416.006,
+		HSLBAlloc:     cesm.Allocation{Lnd: 15, Ice: 89, Atm: 104, Ocn: 24},
+		HSLBPredicted: 410.623, HSLBActual: 425.171,
+	},
+	{
+		Name: "1deg-2048", Resolution: cesm.Res1Deg, TotalNodes: 2048, ConstrainOcean: true,
+		ManualAlloc: cesm.Allocation{Lnd: 384, Ice: 1280, Atm: 1664, Ocn: 384}, ManualTotal: 79.899,
+		HSLBAlloc:     cesm.Allocation{Lnd: 71, Ice: 1454, Atm: 1525, Ocn: 256},
+		HSLBPredicted: 84.484, HSLBActual: 86.471,
+	},
+	{
+		Name: "8th-8192", Resolution: cesm.Res8thDeg, TotalNodes: 8192, ConstrainOcean: true,
+		ManualAlloc: cesm.Allocation{Lnd: 486, Ice: 5350, Atm: 5836, Ocn: 2356}, ManualTotal: 3785.333,
+		HSLBAlloc:     cesm.Allocation{Lnd: 138, Ice: 4918, Atm: 5056, Ocn: 3136},
+		HSLBPredicted: 3390.394, HSLBActual: 3488.806,
+	},
+	{
+		Name: "8th-32768", Resolution: cesm.Res8thDeg, TotalNodes: 32768, ConstrainOcean: true,
+		ManualAlloc: cesm.Allocation{Lnd: 2220, Ice: 24424, Atm: 26644, Ocn: 6124}, ManualTotal: 1645.009,
+		HSLBAlloc:     cesm.Allocation{Lnd: 302, Ice: 13006, Atm: 13308, Ocn: 19460},
+		HSLBPredicted: 1592.649, HSLBActual: 1612.331,
+	},
+	{
+		Name: "8th-8192-uncon", Resolution: cesm.Res8thDeg, TotalNodes: 8192, ConstrainOcean: false,
+		ManualAlloc: cesm.Allocation{Lnd: 486, Ice: 5350, Atm: 5836, Ocn: 2356}, ManualTotal: 3785.333,
+		HSLBAlloc:     cesm.Allocation{Lnd: 137, Ice: 5238, Atm: 5375, Ocn: 2817},
+		HSLBPredicted: 3217.837, HSLBActual: 3496.331,
+	},
+	{
+		Name: "8th-32768-uncon", Resolution: cesm.Res8thDeg, TotalNodes: 32768, ConstrainOcean: false,
+		ManualAlloc: cesm.Allocation{Lnd: 2220, Ice: 24424, Atm: 26644, Ocn: 6124}, ManualTotal: 1645.009,
+		HSLBAlloc:     cesm.Allocation{Lnd: 299, Ice: 22657, Atm: 22956, Ocn: 9812},
+		HSLBPredicted: 1129.405, HSLBActual: 1255.593,
+	},
+}
+
+// Table3Result is one reproduced block.
+type Table3Result struct {
+	Block PaperTable3Block
+	// ManualTotal is the simulated run time at the paper's manual
+	// allocation.
+	ManualTotal float64
+	ManualComp  map[cesm.Component]float64
+	// HSLB outputs on the simulated machine.
+	Decision   *core.Decision
+	ActualComp map[cesm.Component]float64
+	Actual     float64
+}
+
+// fitCache shares one benchmark campaign + fit per resolution across
+// blocks, as the paper does (the scaling data is gathered once).
+type fitCache map[cesm.Resolution]map[cesm.Component]perf.Model
+
+// FitModels runs the gather+fit steps for a resolution (HSLB steps 1-2).
+func FitModels(res cesm.Resolution, seed int64) (map[cesm.Component]perf.Model, error) {
+	var plan []int
+	if res == cesm.Res1Deg {
+		plan = perf.SamplingPlan(64, 2048, 6)
+	} else {
+		plan = perf.SamplingPlan(1024, 32768, 6)
+	}
+	data, err := bench.Campaign{
+		Resolution: res,
+		Layout:     cesm.Layout1,
+		NodeCounts: plan,
+		Repeats:    2,
+		Seed:       seed,
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	fits, err := data.FitAll(perf.FitOptions{ConvexExponent: true})
+	if err != nil {
+		return nil, err
+	}
+	return bench.Models(fits), nil
+}
+
+// RunTable3 reproduces every block of Table III.
+func RunTable3(seed int64) ([]*Table3Result, error) {
+	cache := fitCache{}
+	var out []*Table3Result
+	for _, b := range Table3Blocks {
+		r, err := runTable3Block(b, seed, cache)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: block %s: %w", b.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunTable3Block reproduces a single named block.
+func RunTable3Block(name string, seed int64) (*Table3Result, error) {
+	for _, b := range Table3Blocks {
+		if b.Name == name {
+			return runTable3Block(b, seed, fitCache{})
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown Table III block %q", name)
+}
+
+func runTable3Block(b PaperTable3Block, seed int64, cache fitCache) (*Table3Result, error) {
+	models, ok := cache[b.Resolution]
+	if !ok {
+		var err error
+		models, err = FitModels(b.Resolution, seed)
+		if err != nil {
+			return nil, err
+		}
+		cache[b.Resolution] = models
+	}
+	// Manual baseline: the paper's own allocation, executed on the machine.
+	manual, err := cesm.Run(cesm.Config{
+		Resolution: b.Resolution, Layout: cesm.Layout1, TotalNodes: b.TotalNodes,
+		Alloc: b.ManualAlloc, Seed: seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// HSLB steps 3-4.
+	spec := core.Spec{
+		Resolution:     b.Resolution,
+		Layout:         cesm.Layout1,
+		TotalNodes:     b.TotalNodes,
+		Perf:           models,
+		ConstrainOcean: b.ConstrainOcean,
+		ConstrainAtm:   true,
+	}
+	dec, err := core.SolveAllocation(spec, core.SolverOptions())
+	if err != nil {
+		return nil, err
+	}
+	actual, err := cesm.Run(cesm.Config{
+		Resolution: b.Resolution, Layout: cesm.Layout1, TotalNodes: b.TotalNodes,
+		Alloc: dec.Alloc, Seed: seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table3Result{
+		Block:       b,
+		ManualTotal: manual.Total,
+		ManualComp:  manual.Comp,
+		Decision:    dec,
+		ActualComp:  actual.Comp,
+		Actual:      actual.Total,
+	}, nil
+}
+
+// Table3Report renders the reproduced blocks next to the paper's numbers.
+func Table3Report(results []*Table3Result) *report.Table {
+	t := report.NewTable(
+		"Table III — manual vs HSLB (paper numbers in [brackets])",
+		"block", "component", "manual nodes", "manual s", "hslb nodes", "hslb pred s", "hslb actual s")
+	for _, r := range results {
+		for _, c := range []cesm.Component{cesm.LND, cesm.ICE, cesm.ATM, cesm.OCN} {
+			t.AddRow(r.Block.Name, c.String(),
+				r.Block.ManualAlloc.Get(c), r.ManualComp[c],
+				r.Decision.Alloc.Get(c), r.Decision.PredictedComp[c], r.ActualComp[c])
+		}
+		t.AddRow(r.Block.Name, "TOTAL",
+			fmt.Sprintf("[%v]", r.Block.ManualTotal), r.ManualTotal,
+			fmt.Sprintf("[%v]", r.Block.HSLBPredicted), r.Decision.PredictedTime,
+			fmt.Sprintf("%.1f [%v]", r.Actual, r.Block.HSLBActual))
+		t.AddSeparator()
+	}
+	return t
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"hslb/internal/bench"
+	"hslb/internal/cesm"
+	"hslb/internal/core"
+	"hslb/internal/manual"
+	"hslb/internal/perf"
+	"hslb/internal/report"
+)
+
+// TuningCostResult compares what the two tuning procedures themselves cost
+// — the paper's motivation for HSLB: manual tuning "can be an expensive
+// process and can consume a significant amount of both person and computer
+// time, especially at high resolutions" (§II), taking "five to ten
+// iterations which involves building the model, submitting to a queue, and
+// waiting" (§IV), while HSLB needs one short benchmark campaign and a
+// seconds-long solve.
+type TuningCostResult struct {
+	// HSLB: the gather campaign's runs and compute.
+	HSLBRuns      int
+	HSLBCoreHours float64
+	HSLBFinal     float64 // resulting run time at the target size
+	// Manual: the expert's trial-and-error runs at the full target size.
+	ManualRuns      int
+	ManualCoreHours float64
+	ManualFinal     float64
+}
+
+// RunTuningCost measures both procedures on the same machine and target.
+func RunTuningCost(res cesm.Resolution, totalNodes int, seed int64) (*TuningCostResult, error) {
+	out := &TuningCostResult{}
+
+	// HSLB: one campaign (5 counts), fit, solve, one validation run.
+	var plan []int
+	if res == cesm.Res1Deg {
+		plan = perf.SamplingPlan(64, 2048, 5)
+	} else {
+		plan = perf.SamplingPlan(1024, 32768, 5)
+	}
+	data, err := bench.Campaign{
+		Resolution: res, Layout: cesm.Layout1, NodeCounts: plan, Seed: seed,
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	fits, err := data.FitAll(perf.FitOptions{ConvexExponent: true})
+	if err != nil {
+		return nil, err
+	}
+	dec, err := core.SolveAllocation(core.Spec{
+		Resolution: res, Layout: cesm.Layout1, TotalNodes: totalNodes,
+		Perf: bench.Models(fits), ConstrainOcean: true, ConstrainAtm: true,
+	}, core.SolverOptions())
+	if err != nil {
+		return nil, err
+	}
+	final, err := cesm.Run(cesm.Config{
+		Resolution: res, Layout: cesm.Layout1, TotalNodes: totalNodes,
+		Alloc: dec.Alloc, Seed: seed + 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.HSLBRuns = data.Runs + 1
+	out.HSLBCoreHours = data.CoreHours() +
+		float64(totalNodes)*cesm.CoresPerNode*final.Total/3600
+	out.HSLBFinal = final.Total
+
+	// Manual: every expert iteration is a full-size queue submission.
+	man, err := manual.Optimize(res, cesm.Layout1, totalNodes, manual.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out.ManualRuns = len(man.History)
+	for _, step := range man.History {
+		out.ManualCoreHours += float64(totalNodes) * cesm.CoresPerNode * step.Total / 3600
+	}
+	out.ManualFinal = man.Timing.Total
+	return out, nil
+}
+
+// TuningCostTable renders the comparison.
+func TuningCostTable(r *TuningCostResult) *report.Table {
+	t := report.NewTable("Cost of the tuning procedure itself (§II motivation)",
+		"method", "runs", "core-hours spent tuning", "resulting run s")
+	t.AddRow("manual expert", r.ManualRuns, r.ManualCoreHours, r.ManualFinal)
+	t.AddRow("HSLB", r.HSLBRuns, r.HSLBCoreHours, r.HSLBFinal)
+	return t
+}

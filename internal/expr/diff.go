@@ -1,0 +1,174 @@
+package expr
+
+import "math"
+
+// Diff returns the symbolic partial derivative of e with respect to
+// variable i. The result is simplified.
+func Diff(e Expr, i int) Expr {
+	return Simplify(diff(e, i))
+}
+
+func diff(e Expr, i int) Expr {
+	switch t := e.(type) {
+	case Const:
+		return Const(0)
+	case Var:
+		if t.Index == i {
+			return Const(1)
+		}
+		return Const(0)
+	case Add:
+		terms := make([]Expr, len(t.Terms))
+		for k, term := range t.Terms {
+			terms[k] = diff(term, i)
+		}
+		return Sum(terms...)
+	case Mul:
+		// Product rule over all factors.
+		terms := make([]Expr, 0, len(t.Factors))
+		for k := range t.Factors {
+			factors := make([]Expr, len(t.Factors))
+			copy(factors, t.Factors)
+			factors[k] = diff(t.Factors[k], i)
+			terms = append(terms, Prod(factors...))
+		}
+		return Sum(terms...)
+	case Div:
+		// (u/v)' = (u'v - uv')/v².
+		num := Sub(Prod(diff(t.Num, i), t.Den), Prod(t.Num, diff(t.Den, i)))
+		return Div{Num: num, Den: Pow{Base: t.Den, Exponent: Const(2)}}
+	case Pow:
+		if c, ok := t.Exponent.(Const); ok {
+			// (u^c)' = c*u^(c-1)*u'.
+			return Prod(Const(float64(c)),
+				Pow{Base: t.Base, Exponent: Const(float64(c) - 1)},
+				diff(t.Base, i))
+		}
+		// General case: u^v = exp(v*log u); (u^v)' = u^v*(v'*log u + v*u'/u).
+		return Prod(t,
+			Sum(Prod(diff(t.Exponent, i), Log{Arg: t.Base}),
+				Div{Num: Prod(t.Exponent, diff(t.Base, i)), Den: t.Base}))
+	case Log:
+		return Div{Num: diff(t.Arg, i), Den: t.Arg}
+	case Exp:
+		return Prod(t, diff(t.Arg, i))
+	case Neg:
+		return Neg{Arg: diff(t.Arg, i)}
+	default:
+		panic("expr: unknown node in diff")
+	}
+}
+
+// Simplify applies constant folding and algebraic identities (x+0, x*1,
+// x*0, x^1, x^0, --x, 0/x) bottom-up. It never changes the value of the
+// expression at points where it is defined.
+func Simplify(e Expr) Expr {
+	switch t := e.(type) {
+	case Const, Var:
+		return e
+	case Add:
+		terms := make([]Expr, 0, len(t.Terms))
+		constSum := 0.0
+		for _, term := range t.Terms {
+			s := Simplify(term)
+			if a, ok := s.(Add); ok {
+				for _, inner := range a.Terms {
+					if c, ok := inner.(Const); ok {
+						constSum += float64(c)
+					} else {
+						terms = append(terms, inner)
+					}
+				}
+				continue
+			}
+			if c, ok := s.(Const); ok {
+				constSum += float64(c)
+				continue
+			}
+			terms = append(terms, s)
+		}
+		if constSum != 0 || len(terms) == 0 {
+			terms = append(terms, Const(constSum))
+		}
+		return Sum(terms...)
+	case Mul:
+		factors := make([]Expr, 0, len(t.Factors))
+		constProd := 1.0
+		for _, f := range t.Factors {
+			s := Simplify(f)
+			if m, ok := s.(Mul); ok {
+				for _, inner := range m.Factors {
+					if c, ok := inner.(Const); ok {
+						constProd *= float64(c)
+					} else {
+						factors = append(factors, inner)
+					}
+				}
+				continue
+			}
+			if c, ok := s.(Const); ok {
+				constProd *= float64(c)
+				continue
+			}
+			factors = append(factors, s)
+		}
+		if constProd == 0 {
+			return Const(0)
+		}
+		if constProd != 1 || len(factors) == 0 {
+			factors = append([]Expr{Const(constProd)}, factors...)
+		}
+		return Prod(factors...)
+	case Div:
+		num, den := Simplify(t.Num), Simplify(t.Den)
+		if nc, ok := num.(Const); ok {
+			if float64(nc) == 0 {
+				return Const(0)
+			}
+			if dc, ok := den.(Const); ok {
+				return Const(float64(nc) / float64(dc))
+			}
+		}
+		if dc, ok := den.(Const); ok && float64(dc) == 1 {
+			return num
+		}
+		return Div{Num: num, Den: den}
+	case Pow:
+		base, exp := Simplify(t.Base), Simplify(t.Exponent)
+		if ec, ok := exp.(Const); ok {
+			switch float64(ec) {
+			case 0:
+				return Const(1)
+			case 1:
+				return base
+			}
+			if bc, ok := base.(Const); ok {
+				return Const(math.Pow(float64(bc), float64(ec)))
+			}
+		}
+		return Pow{Base: base, Exponent: exp}
+	case Log:
+		arg := Simplify(t.Arg)
+		if c, ok := arg.(Const); ok {
+			return Const(math.Log(float64(c)))
+		}
+		return Log{Arg: arg}
+	case Exp:
+		arg := Simplify(t.Arg)
+		if c, ok := arg.(Const); ok {
+			return Const(math.Exp(float64(c)))
+		}
+		return Exp{Arg: arg}
+	case Neg:
+		arg := Simplify(t.Arg)
+		if c, ok := arg.(Const); ok {
+			return Const(-float64(c))
+		}
+		if n, ok := arg.(Neg); ok {
+			return n.Arg
+		}
+		return Neg{Arg: arg}
+	default:
+		panic("expr: unknown node in Simplify")
+	}
+}

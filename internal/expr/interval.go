@@ -1,0 +1,137 @@
+package expr
+
+import "math"
+
+// Interval is a closed interval [Lo, Hi] on the extended real line.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Entire is the whole real line.
+func Entire() Interval { return Interval{math.Inf(-1), math.Inf(1)} }
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return Interval{v, v} }
+
+// Contains reports whether v lies in the interval (inclusive).
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// IsEmpty reports an inverted interval.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+func (iv Interval) add(o Interval) Interval { return Interval{iv.Lo + o.Lo, iv.Hi + o.Hi} }
+func (iv Interval) neg() Interval           { return Interval{-iv.Hi, -iv.Lo} }
+
+func (iv Interval) mul(o Interval) Interval {
+	cands := [4]float64{iv.Lo * o.Lo, iv.Lo * o.Hi, iv.Hi * o.Lo, iv.Hi * o.Hi}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range cands {
+		if math.IsNaN(c) {
+			// 0·∞ products: treat as 0 (the finite endpoint was 0).
+			c = 0
+		}
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	return Interval{lo, hi}
+}
+
+func (iv Interval) div(o Interval) Interval {
+	if o.Lo <= 0 && o.Hi >= 0 {
+		return Entire() // denominator may vanish
+	}
+	inv := Interval{1 / o.Hi, 1 / o.Lo}
+	return iv.mul(inv)
+}
+
+// powConst computes iv^c for a constant exponent, conservatively.
+func (iv Interval) powConst(c float64) Interval {
+	if c == 0 {
+		return Point(1)
+	}
+	if c == 1 {
+		return iv
+	}
+	pow := func(v float64) float64 { return math.Pow(v, c) }
+	switch {
+	case iv.Lo >= 0:
+		// x^c monotone for x >= 0 (increasing for c>0, decreasing for c<0).
+		a, b := pow(iv.Lo), pow(iv.Hi)
+		return Interval{math.Min(a, b), math.Max(a, b)}
+	case c == math.Trunc(c) && c > 0:
+		// Integer exponent on a sign-crossing or negative interval.
+		a, b := pow(iv.Lo), pow(iv.Hi)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if int64(c)%2 == 0 && iv.Contains(0) {
+			lo = 0
+		}
+		return Interval{lo, hi}
+	default:
+		// Fractional power of a (partly) negative interval: undefined
+		// regions; give up conservatively.
+		return Entire()
+	}
+}
+
+// EvalInterval bounds the range of e over the box. box[i] bounds variable i.
+// The result is a conservative enclosure: for every x in the box,
+// e.Eval(x) ∈ EvalInterval(e, box) (up to floating-point rounding).
+func EvalInterval(e Expr, box []Interval) Interval {
+	switch t := e.(type) {
+	case Const:
+		return Point(float64(t))
+	case Var:
+		return box[t.Index]
+	case Add:
+		out := Point(0)
+		for _, term := range t.Terms {
+			out = out.add(EvalInterval(term, box))
+		}
+		return out
+	case Mul:
+		out := Point(1)
+		for _, f := range t.Factors {
+			out = out.mul(EvalInterval(f, box))
+		}
+		return out
+	case Div:
+		return EvalInterval(t.Num, box).div(EvalInterval(t.Den, box))
+	case Pow:
+		base := EvalInterval(t.Base, box)
+		if c, ok := t.Exponent.(Const); ok {
+			return base.powConst(float64(c))
+		}
+		exp := EvalInterval(t.Exponent, box)
+		if base.Lo > 0 {
+			// x^y = exp(y·log x); both monotone pieces, enclose via corners.
+			cands := [4]float64{
+				math.Pow(base.Lo, exp.Lo), math.Pow(base.Lo, exp.Hi),
+				math.Pow(base.Hi, exp.Lo), math.Pow(base.Hi, exp.Hi),
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, c := range cands {
+				lo = math.Min(lo, c)
+				hi = math.Max(hi, c)
+			}
+			return Interval{lo, hi}
+		}
+		return Entire()
+	case Log:
+		a := EvalInterval(t.Arg, box)
+		if a.Hi <= 0 {
+			return Entire() // undefined everywhere in the box
+		}
+		lo := math.Inf(-1)
+		if a.Lo > 0 {
+			lo = math.Log(a.Lo)
+		}
+		return Interval{lo, math.Log(a.Hi)}
+	case Exp:
+		a := EvalInterval(t.Arg, box)
+		return Interval{math.Exp(a.Lo), math.Exp(a.Hi)}
+	case Neg:
+		return EvalInterval(t.Arg, box).neg()
+	default:
+		return Entire()
+	}
+}

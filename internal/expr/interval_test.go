@@ -1,0 +1,113 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	box := []Interval{{1, 3}, {-2, 2}}
+	cases := []struct {
+		e      Expr
+		lo, hi float64
+	}{
+		{Sum(X(0), X(1)), -1, 5},
+		{Sub(X(0), X(1)), -1, 5},
+		{Prod(X(0), X(1)), -6, 6},
+		{Div{Num: C(6), Den: X(0)}, 2, 6},
+		{Pow{Base: X(0), Exponent: C(2)}, 1, 9},
+		{Pow{Base: X(1), Exponent: C(2)}, 0, 4}, // even power through zero
+		{Neg{Arg: X(0)}, -3, -1},
+		{Exp{Arg: X(1)}, math.Exp(-2), math.Exp(2)},
+		{Log{Arg: X(0)}, 0, math.Log(3)},
+	}
+	for i, c := range cases {
+		got := EvalInterval(c.e, box)
+		if math.Abs(got.Lo-c.lo) > 1e-12 || math.Abs(got.Hi-c.hi) > 1e-12 {
+			t.Errorf("case %d (%v): [%v,%v], want [%v,%v]", i, c.e, got.Lo, got.Hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestIntervalDivThroughZero(t *testing.T) {
+	box := []Interval{{-1, 1}}
+	got := EvalInterval(Div{Num: C(1), Den: X(0)}, box)
+	if !math.IsInf(got.Lo, -1) || !math.IsInf(got.Hi, 1) {
+		t.Fatalf("division through zero should be entire: %v", got)
+	}
+}
+
+func TestIntervalLogNonPositive(t *testing.T) {
+	box := []Interval{{-2, -1}}
+	got := EvalInterval(Log{Arg: X(0)}, box)
+	if !math.IsInf(got.Lo, -1) {
+		t.Fatalf("log of negative box should be conservative: %v", got)
+	}
+}
+
+func TestIntervalPerfModelBounds(t *testing.T) {
+	// The Table II model over n ∈ [24, 768] with fixed positive params.
+	// a/n + b·n^c + d with a=7697, b=1e-4, c=1.05, d=41.5.
+	n := NamedVar(0, "n")
+	e := Sum(
+		Div{Num: C(7697), Den: n},
+		Prod(C(1e-4), Pow{Base: n, Exponent: C(1.05)}),
+		C(41.5),
+	)
+	box := []Interval{{24, 768}}
+	iv := EvalInterval(e, box)
+	for _, nv := range []float64{24, 100, 384, 768} {
+		v := e.Eval([]float64{nv})
+		if !iv.Contains(v) {
+			t.Fatalf("enclosure [%v,%v] misses f(%v)=%v", iv.Lo, iv.Hi, nv, v)
+		}
+	}
+}
+
+// TestIntervalContainmentProperty: the fundamental theorem of interval
+// arithmetic — the enclosure contains every sampled value.
+func TestIntervalContainmentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 3, 4)
+		box := make([]Interval, 3)
+		for i := range box {
+			lo := rng.Float64() * 2
+			box[i] = Interval{lo, lo + rng.Float64()*3}
+		}
+		iv := EvalInterval(e, box)
+		for k := 0; k < 20; k++ {
+			x := make([]float64, 3)
+			for i := range x {
+				x[i] = box[i].Lo + rng.Float64()*(box[i].Hi-box[i].Lo)
+			}
+			v := e.Eval(x)
+			if math.IsNaN(v) {
+				continue
+			}
+			// Tolerate rounding at the endpoints.
+			if v < iv.Lo-1e-9*math.Abs(iv.Lo)-1e-9 || v > iv.Hi+1e-9*math.Abs(iv.Hi)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	if !Point(3).Contains(3) || Point(3).IsEmpty() {
+		t.Error("Point misbehaves")
+	}
+	if (Interval{2, 1}).IsEmpty() == false {
+		t.Error("inverted interval not empty")
+	}
+	ent := Entire()
+	if !ent.Contains(1e300) || !ent.Contains(-1e300) {
+		t.Error("Entire not entire")
+	}
+}

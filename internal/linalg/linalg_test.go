@@ -1,0 +1,344 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func approxEq(a, b, eps float64) bool {
+	d := math.Abs(a - b)
+	if d <= eps {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= eps*m
+}
+
+func vecApproxEq(a, b Vector, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !approxEq(a[i], b[i], eps) {
+			return false
+		}
+	}
+	return true
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randSPD(rng *rand.Rand, n int) *Matrix {
+	a := randMatrix(rng, n, n)
+	spd := a.T().Mul(a)
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+float64(n)) // ensure well-conditioned
+	}
+	return spd
+}
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched lengths")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if got := v.Norm2(); !approxEq(got, 5, tol) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := v.Norm1(); !approxEq(got, 7, tol) {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := v.NormInf(); !approxEq(got, 4, tol) {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+	if got := NewVector(3).Norm2(); got != 0 {
+		t.Errorf("zero Norm2 = %v, want 0", got)
+	}
+}
+
+func TestVectorNorm2Overflow(t *testing.T) {
+	v := Vector{1e200, 1e200}
+	want := 1e200 * math.Sqrt2
+	if got := v.Norm2(); !approxEq(got, want, 1e-12) {
+		t.Errorf("Norm2 = %v, want %v (no overflow)", got, want)
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{3, 5}
+	if got := v.Add(w); !vecApproxEq(got, Vector{4, 7}, tol) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); !vecApproxEq(got, Vector{2, 3}, tol) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(-2); !vecApproxEq(got, Vector{-2, -4}, tol) {
+		t.Errorf("Scale = %v", got)
+	}
+	u := v.Clone()
+	u.AXPY(2, w)
+	if !vecApproxEq(u, Vector{7, 12}, tol) {
+		t.Errorf("AXPY = %v", u)
+	}
+	if !vecApproxEq(v, Vector{1, 2}, tol) {
+		t.Errorf("source mutated: %v", v)
+	}
+}
+
+func TestVectorAllFinite(t *testing.T) {
+	if !(Vector{1, 2}).AllFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vector{1, math.NaN()}).AllFinite() {
+		t.Error("NaN not detected")
+	}
+	if (Vector{math.Inf(1)}).AllFinite() {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range want.Data {
+		if !approxEq(got.Data[i], want.Data[i], tol) {
+			t.Fatalf("Mul = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMatrixMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 4, 3)
+	v := Vector{1, -2, 0.5, 3}
+	got := a.MulVecT(v)
+	want := a.T().MulVec(v)
+	if !vecApproxEq(got, want, tol) {
+		t.Fatalf("MulVecT = %v, want %v", got, want)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 3, 3)
+	if got := id.Mul(a); !vecApproxEq(Vector(got.Data), Vector(a.Data), tol) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, 1},
+		{4, -6, 0},
+		{-2, 7, 2},
+	})
+	b := Vector{5, -2, 9}
+	x, err := SolveLU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.MulVec(x); !vecApproxEq(got, b, 1e-10) {
+		t.Fatalf("A*x = %v, want %v", got, b)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); !approxEq(got, -14, tol) {
+		t.Fatalf("Det = %v, want -14", got)
+	}
+}
+
+func TestLUSolveRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant-ish
+		}
+		want := make(Vector, n)
+		for i := range want {
+			want[i] = r.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveLU(a, b)
+		if err != nil {
+			return false
+		}
+		return vecApproxEq(got, want, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSPD(rng, 5)
+	want := Vector{1, -2, 3, 0.5, -1}
+	b := a.MulVec(want)
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecApproxEq(got, want, 1e-8) {
+		t.Fatalf("x = %v, want %v", got, want)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := FactorCholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyFactorReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSPD(rng, 6)
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llt := c.l.Mul(c.l.T())
+	for i := range a.Data {
+		if !approxEq(llt.Data[i], a.Data[i], 1e-8) {
+			t.Fatalf("L*Lt != A at %d: %v vs %v", i, llt.Data[i], a.Data[i])
+		}
+	}
+}
+
+func TestSolveSPDFallback(t *testing.T) {
+	// Symmetric but indefinite: SolveSPD should still solve via LU fallback.
+	a := FromRows([][]float64{{1, 2}, {2, 1}})
+	b := Vector{3, 3}
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.MulVec(x); !vecApproxEq(got, b, 1e-8) {
+		t.Fatalf("A*x = %v, want %v", got, b)
+	}
+}
+
+func TestQRLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent system: residual should be ~0.
+	a := FromRows([][]float64{{1, 1}, {1, 2}, {1, 3}})
+	want := Vector{0.5, 2}
+	b := a.MulVec(want)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecApproxEq(x, want, 1e-9) {
+		t.Fatalf("x = %v, want %v", x, want)
+	}
+}
+
+func TestQRLeastSquaresNormalEquations(t *testing.T) {
+	// QR least-squares solution must satisfy Aᵀ(Ax - b) = 0.
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		m := n + 1 + r.Intn(6)
+		a := randMatrix(rng, m, n)
+		b := make(Vector, m)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		resid := a.MulVec(x).Sub(b)
+		grad := a.MulVecT(resid)
+		return grad.NormInf() < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRRejectsUnderdetermined(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := FactorQR(a); err != ErrDimension {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestQRSquareMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randSPD(rng, 4)
+	b := Vector{1, 2, 3, 4}
+	x1, err := SolveLU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecApproxEq(x1, x2, 1e-7) {
+		t.Fatalf("LU %v vs QR %v", x1, x2)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMatrix(rng, 3, 5)
+	att := a.T().T()
+	if att.Rows != a.Rows || att.Cols != a.Cols {
+		t.Fatal("shape changed")
+	}
+	for i := range a.Data {
+		if a.Data[i] != att.Data[i] {
+			t.Fatal("T().T() != A")
+		}
+	}
+}

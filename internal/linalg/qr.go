@@ -1,0 +1,114 @@
+package linalg
+
+import "math"
+
+// QR holds a Householder QR factorization of an m×n matrix (m >= n):
+// A = Q*R with Q orthogonal (m×m, stored implicitly) and R upper triangular.
+type QR struct {
+	qr   *Matrix   // Householder vectors below diagonal, R on and above
+	beta []float64 // Householder scalars
+}
+
+// FactorQR computes the QR factorization of a (m >= n required).
+// The input is not modified.
+func FactorQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, ErrDimension
+	}
+	qr := a.Clone()
+	beta := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector for column k.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			beta[k] = 0
+			continue
+		}
+		// Choose the sign so the reflector head 1 + a_kk/norm stays in [1,2],
+		// which avoids cancellation and a vanishing reflector.
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		beta[k] = qr.At(k, k)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s /= -qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		qr.Set(k, k, -norm) // store R diagonal; reflector head kept in beta
+	}
+	return &QR{qr: qr, beta: beta}, nil
+}
+
+// R returns the upper-triangular factor as a new n×n matrix.
+func (f *QR) R() *Matrix {
+	n := f.qr.Cols
+	r := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// Solve solves the least-squares problem min ||A*x - b||₂.
+func (f *QR) Solve(b Vector) (Vector, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		return nil, ErrDimension
+	}
+	y := b.Clone()
+	// Apply Qᵀ to y. Column k's reflector is (beta[k], qr[k+1:m, k]).
+	for k := 0; k < n; k++ {
+		if f.beta[k] == 0 {
+			continue
+		}
+		s := f.beta[k] * y[k]
+		for i := k + 1; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s /= -f.beta[k]
+		y[k] += s * f.beta[k]
+		for i := k + 1; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		d := f.qr.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A*x - b||₂ via QR.
+func LeastSquares(a *Matrix, b Vector) (Vector, error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

@@ -1,0 +1,140 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDualsKnownInstance(t *testing.T) {
+	// min -3x - 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0.
+	// Optimum at (4, 0): first constraint tight (shadow price -3:
+	// raising its RHS by 1 lowers the objective by 3), second slack (0).
+	p := NewProblem(2)
+	p.Obj = []float64{-3, -2}
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 3}, LE, 6)
+	s := solveOK(t, p)
+	if len(s.Duals) != 2 {
+		t.Fatalf("duals = %v", s.Duals)
+	}
+	if !approxEq(s.Duals[0], -3, 1e-8) {
+		t.Errorf("dual[0] = %v, want -3", s.Duals[0])
+	}
+	if math.Abs(s.Duals[1]) > 1e-8 {
+		t.Errorf("dual[1] = %v, want 0 (slack constraint)", s.Duals[1])
+	}
+}
+
+func TestDualsComplementarySlackness(t *testing.T) {
+	// Any constraint with positive slack at the optimum must have zero
+	// shadow price.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.Obj[j] = rng.NormFloat64()
+			p.Upper[j] = 1 + rng.Float64()*4
+		}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = math.Abs(rng.NormFloat64())
+			}
+			p.AddConstraint(coef, LE, 1+rng.Float64()*float64(n)*3)
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		for i, c := range p.Cons {
+			lhs := 0.0
+			for j, v := range c.Coef {
+				lhs += v * s.X[j]
+			}
+			if c.RHS-lhs > 1e-6 && math.Abs(s.Duals[i]) > 1e-6 {
+				return false // slack but priced
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualsAreShadowPrices(t *testing.T) {
+	// Perturb each RHS by a small ε and check ΔObj ≈ y_i·ε. Instances are
+	// built with a strict interior optimum direction to avoid degeneracy.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.Obj[j] = -(0.5 + rng.Float64()*2) // push against the constraints
+			p.Upper[j] = 50
+		}
+		m := 1 + rng.Intn(3)
+		for k := 0; k < m; k++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = 0.2 + rng.Float64()
+			}
+			p.AddConstraint(coef, LE, 1+rng.Float64()*5)
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		const eps = 1e-5
+		for i := range p.Cons {
+			q := NewProblem(n)
+			copy(q.Obj, p.Obj)
+			copy(q.Upper, p.Upper)
+			for _, c := range p.Cons {
+				q.AddConstraint(c.Coef, c.Sense, c.RHS)
+			}
+			q.Cons[i].RHS += eps
+			s2, err := Solve(q)
+			if err != nil || s2.Status != Optimal {
+				return false
+			}
+			predicted := s.Duals[i] * eps
+			actual := s2.Obj - s.Obj
+			// Accept either agreement or a degenerate vertex (detected by
+			// a zero change with nonzero dual — rare ties).
+			if math.Abs(actual-predicted) > 1e-7 && math.Abs(actual) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualsGEConstraint(t *testing.T) {
+	// min 2x s.t. x >= 3: dual = 2 (raising the requirement raises cost).
+	p := NewProblem(1)
+	p.Obj = []float64{2}
+	p.AddConstraint([]float64{1}, GE, 3)
+	s := solveOK(t, p)
+	if !approxEq(s.Duals[0], 2, 1e-9) {
+		t.Fatalf("dual = %v, want 2", s.Duals[0])
+	}
+}
+
+func TestDualsEqualityConstraint(t *testing.T) {
+	// min x + 4y s.t. x + y = 2, y in [0,10]. Optimum x=2,y=0; dual = 1.
+	p := NewProblem(2)
+	p.Obj = []float64{1, 4}
+	p.Upper[1] = 10
+	p.AddConstraint([]float64{1, 1}, EQ, 2)
+	s := solveOK(t, p)
+	if !approxEq(s.Duals[0], 1, 1e-9) {
+		t.Fatalf("dual = %v, want 1", s.Duals[0])
+	}
+}

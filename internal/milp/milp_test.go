@@ -1,0 +1,284 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hslb/internal/expr"
+	"hslb/internal/model"
+)
+
+func approxEq(a, b, eps float64) bool {
+	d := math.Abs(a - b)
+	if d <= eps {
+		return true
+	}
+	return d <= eps*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func solveOK(t *testing.T, m *model.Model, opt Options) *Result {
+	t.Helper()
+	r, err := Solve(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", r.Status)
+	}
+	return r
+}
+
+func TestPureIPKnapsack(t *testing.T) {
+	// max 60a + 100b + 120c s.t. 10a + 20b + 30c <= 50, binary.
+	// Optimum: b + c = 220.
+	m := model.New()
+	a := m.AddVar("a", model.Binary, 0, 1)
+	b := m.AddVar("b", model.Binary, 0, 1)
+	c := m.AddVar("c", model.Binary, 0, 1)
+	m.AddConstraint("w", expr.Sum(expr.Scale(10, a), expr.Scale(20, b), expr.Scale(30, c)), model.LE, 50)
+	m.SetObjective(expr.Sum(expr.Scale(60, a), expr.Scale(100, b), expr.Scale(120, c)), model.Maximize)
+	r := solveOK(t, m, Options{})
+	if !approxEq(r.Obj, 220, 1e-6) {
+		t.Fatalf("obj = %v, want 220 (x=%v)", r.Obj, r.X)
+	}
+	if math.Round(r.X[0]) != 0 || math.Round(r.X[1]) != 1 || math.Round(r.X[2]) != 1 {
+		t.Fatalf("x = %v, want (0,1,1)", r.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// max x + y s.t. 2x + 3y <= 12, x <= 4 — LP gives fractional y.
+	m := model.New()
+	x := m.AddVar("x", model.Integer, 0, 4)
+	y := m.AddVar("y", model.Integer, 0, 10)
+	m.AddConstraint("c", expr.Sum(expr.Scale(2, x), expr.Scale(3, y)), model.LE, 12)
+	m.SetObjective(expr.Sum(x, expr.Scale(2, y)), model.Maximize)
+	r := solveOK(t, m, Options{})
+	// Best: y=4,x=0 → 8; or y=3,x=1 → 7; or y=2,x=3 → 7. So 8.
+	if !approxEq(r.Obj, 8, 1e-6) {
+		t.Fatalf("obj = %v, x = %v", r.Obj, r.X)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min 3x + z s.t. x + z >= 2.5, x integer in [0,5], z continuous >= 0.
+	// Candidates: x=0 → z=2.5 cost 2.5. x=1 → z=1.5 cost 4.5. So 2.5.
+	m := model.New()
+	x := m.AddVar("x", model.Integer, 0, 5)
+	z := m.AddVar("z", model.Continuous, 0, math.Inf(1))
+	m.AddConstraint("c", expr.Sum(x, z), model.GE, 2.5)
+	m.SetObjective(expr.Sum(expr.Scale(3, x), z), model.Minimize)
+	r := solveOK(t, m, Options{})
+	if !approxEq(r.Obj, 2.5, 1e-6) {
+		t.Fatalf("obj = %v, x = %v", r.Obj, r.X)
+	}
+}
+
+func TestInfeasibleIP(t *testing.T) {
+	// x binary with x >= 0.4 and x <= 0.6: no integer point.
+	m := model.New()
+	x := m.AddVar("x", model.Binary, 0, 1)
+	m.AddConstraint("lo", x, model.GE, 0.4)
+	m.AddConstraint("hi", x, model.LE, 0.6)
+	m.SetObjective(x, model.Minimize)
+	r, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestRejectsNonlinear(t *testing.T) {
+	m := model.New()
+	x := m.AddVar("x", model.Integer, 1, 5)
+	m.AddConstraint("nl", expr.Div{Num: expr.C(1), Den: x}, model.LE, 1)
+	m.SetObjective(x, model.Minimize)
+	if _, err := Solve(m, Options{}); err == nil {
+		t.Fatal("nonlinear model accepted")
+	}
+}
+
+func TestSelectionSetSolve(t *testing.T) {
+	// n must take a value from the set; minimize |n - 100| in LP form:
+	// min d with d >= n-100, d >= 100-n. Closest allowed value is 96.
+	m := model.New()
+	n := m.AddVar("n", model.Integer, 0, 1000)
+	d := m.AddVar("d", model.Continuous, 0, math.Inf(1))
+	m.AddSelectionSet("allowed", n, []float64{2, 24, 96, 480, 768})
+	m.AddConstraint("d1", expr.Sub(n, d), model.LE, 100)
+	m.AddConstraint("d2", expr.Sub(expr.Neg{Arg: n}, d), model.LE, -100)
+	m.SetObjective(d, model.Minimize)
+	for _, sos := range []bool{false, true} {
+		r := solveOK(t, m, Options{BranchSOS: sos})
+		if math.Round(r.X[n.Index]) != 96 {
+			t.Fatalf("sos=%v: n = %v, want 96", sos, r.X[n.Index])
+		}
+		if !approxEq(r.Obj, 4, 1e-6) {
+			t.Fatalf("sos=%v: obj = %v, want 4", sos, r.Obj)
+		}
+	}
+}
+
+func TestSOSAndBinaryBranchingAgreeProperty(t *testing.T) {
+	// Property: both branching rules find the same optimal value for random
+	// selection-set instances (paths may differ; the optimum may not).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := model.New()
+		n := m.AddVar("n", model.Integer, 0, 2000)
+		nvals := 3 + rng.Intn(6)
+		vals := make([]float64, nvals)
+		v := 1 + rng.Intn(20)
+		for i := range vals {
+			vals[i] = float64(v)
+			v += 1 + rng.Intn(200)
+		}
+		m.AddSelectionSet("s", n, vals)
+		target := float64(rng.Intn(1000))
+		d := m.AddVar("d", model.Continuous, 0, math.Inf(1))
+		m.AddConstraint("d1", expr.Sub(n, d), model.LE, target)
+		m.AddConstraint("d2", expr.Sub(expr.Neg{Arg: n}, d), model.LE, -target)
+		m.SetObjective(d, model.Minimize)
+
+		r1, err1 := Solve(m, Options{BranchSOS: false})
+		r2, err2 := Solve(m, Options{BranchSOS: true})
+		if err1 != nil || err2 != nil || r1.Status != Optimal || r2.Status != Optimal {
+			return false
+		}
+		// Independently verify against the closest allowed value.
+		best := math.Inf(1)
+		for _, w := range vals {
+			if dd := math.Abs(w - target); dd < best {
+				best = dd
+			}
+		}
+		return approxEq(r1.Obj, best, 1e-5) && approxEq(r2.Obj, best, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomIPMatchesBruteForce(t *testing.T) {
+	// Small random pure IPs: B&B must match exhaustive enumeration.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(3)
+		ub := 3
+		m := model.New()
+		vars := make([]expr.Var, nv)
+		obj := make([]expr.Expr, nv)
+		objCoef := make([]float64, nv)
+		for i := 0; i < nv; i++ {
+			vars[i] = m.AddVar("x", model.Integer, 0, float64(ub))
+			objCoef[i] = float64(rng.Intn(11) - 5)
+			obj[i] = expr.Scale(objCoef[i], vars[i])
+		}
+		nc := 1 + rng.Intn(3)
+		consCoef := make([][]float64, nc)
+		consRHS := make([]float64, nc)
+		for k := 0; k < nc; k++ {
+			consCoef[k] = make([]float64, nv)
+			terms := make([]expr.Expr, nv)
+			for i := 0; i < nv; i++ {
+				consCoef[k][i] = float64(rng.Intn(7) - 2)
+				terms[i] = expr.Scale(consCoef[k][i], vars[i])
+			}
+			consRHS[k] = float64(rng.Intn(12))
+			m.AddConstraint("c", expr.Sum(terms...), model.LE, consRHS[k])
+		}
+		m.SetObjective(expr.Sum(obj...), model.Minimize)
+
+		r, err := Solve(m, Options{})
+		if err != nil {
+			return false
+		}
+
+		// Brute force.
+		best := math.Inf(1)
+		total := 1
+		for i := 0; i < nv; i++ {
+			total *= ub + 1
+		}
+		for code := 0; code < total; code++ {
+			c := code
+			x := make([]float64, nv)
+			for i := 0; i < nv; i++ {
+				x[i] = float64(c % (ub + 1))
+				c /= ub + 1
+			}
+			ok := true
+			for k := 0; k < nc; k++ {
+				s := 0.0
+				for i := 0; i < nv; i++ {
+					s += consCoef[k][i] * x[i]
+				}
+				if s > consRHS[k]+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			o := 0.0
+			for i := 0; i < nv; i++ {
+				o += objCoef[i] * x[i]
+			}
+			if o < best {
+				best = o
+			}
+		}
+		if math.IsInf(best, 1) {
+			return r.Status == Infeasible
+		}
+		return r.Status == Optimal && approxEq(r.Obj, best, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// An instance needing branching with MaxNodes=1 must report NodeLimit
+	// (no incumbent found after the single root solve).
+	m := model.New()
+	x := m.AddVar("x", model.Integer, 0, 10)
+	y := m.AddVar("y", model.Integer, 0, 10)
+	m.AddConstraint("c", expr.Sum(expr.Scale(2, x), expr.Scale(3, y)), model.LE, 11)
+	m.SetObjective(expr.Sum(expr.Scale(-3, x), expr.Scale(-4, y)), model.Minimize)
+	r, err := Solve(m, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status == Optimal && r.Nodes > 1 {
+		t.Fatalf("node limit not respected: %d nodes", r.Nodes)
+	}
+}
+
+func TestSolutionSatisfiesModel(t *testing.T) {
+	m := model.New()
+	x := m.AddVar("x", model.Integer, 0, 7)
+	y := m.AddVar("y", model.Integer, 0, 7)
+	m.AddConstraint("c1", expr.Sum(x, y), model.LE, 9)
+	m.AddConstraint("c2", expr.Sub(x, y), model.GE, -3)
+	m.SetObjective(expr.Sum(expr.Scale(-5, x), expr.Scale(-4, y)), model.Minimize)
+	r := solveOK(t, m, Options{})
+	if !m.IsFeasible(r.X, 1e-6) {
+		t.Fatalf("solution %v violates model", r.X)
+	}
+}
+
+func TestMaximizeSenseRestored(t *testing.T) {
+	m := model.New()
+	x := m.AddVar("x", model.Integer, 0, 9)
+	m.SetObjective(x, model.Maximize)
+	r := solveOK(t, m, Options{})
+	if !approxEq(r.Obj, 9, 1e-9) {
+		t.Fatalf("obj = %v, want 9 (maximization sense must be reported back)", r.Obj)
+	}
+}

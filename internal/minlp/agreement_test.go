@@ -1,0 +1,86 @@
+package minlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hslb/internal/expr"
+	"hslb/internal/model"
+)
+
+// TestAlgorithmsAgreeOnRandomConvexMINLP checks that the two branch-and-
+// bound flavours certify the same optimum on random convex min-max
+// allocation instances — the cross-validation MINOTAUR users get by
+// switching engines.
+func TestAlgorithmsAgreeOnRandomConvexMINLP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(2) // components
+		N := 10 + rng.Intn(30)
+		m := model.New()
+		T := m.AddVar("T", model.Continuous, 0, 1e9)
+		vars := make([]expr.Var, k)
+		capTerms := make([]expr.Expr, k)
+		for i := 0; i < k; i++ {
+			vars[i] = m.AddVar("n", model.Integer, 1, float64(N))
+			capTerms[i] = vars[i]
+			a := 20 + rng.Float64()*300
+			d := rng.Float64() * 10
+			body := expr.Sub(expr.Sum(expr.Div{Num: expr.C(a), Den: vars[i]}, expr.C(d)), T)
+			m.AddConstraint("t", body, model.LE, 0)
+		}
+		m.AddConstraint("cap", expr.Sum(capTerms...), model.LE, float64(N))
+		m.SetObjective(T, model.Minimize)
+
+		oa, err1 := Solve(m, Options{Algorithm: OuterApprox})
+		bb, err2 := Solve(m, Options{Algorithm: NLPBB})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if oa.Status != Optimal || bb.Status != Optimal {
+			// Both may legitimately be infeasible when k > N, but here
+			// k << N always, so demand optimality.
+			return false
+		}
+		return math.Abs(oa.Obj-bb.Obj) <= 1e-3*(1+math.Abs(oa.Obj))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOASolutionAlwaysFeasible: whatever instance we throw at it, an
+// Optimal answer must satisfy the model.
+func TestOASolutionAlwaysFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := model.New()
+		T := m.AddVar("T", model.Continuous, 0, 1e9)
+		n1 := m.AddVar("n1", model.Integer, 1, 50)
+		n2 := m.AddVar("n2", model.Integer, 1, 50)
+		a1 := 10 + rng.Float64()*500
+		a2 := 10 + rng.Float64()*500
+		m.AddConstraint("t1", expr.Sub(expr.Div{Num: expr.C(a1), Den: n1}, T), model.LE, 0)
+		m.AddConstraint("t2", expr.Sub(expr.Div{Num: expr.C(a2), Den: n2}, T), model.LE, 0)
+		cap := float64(4 + rng.Intn(60))
+		m.AddConstraint("cap", expr.Sum(n1, n2), model.LE, cap)
+		m.SetObjective(T, model.Minimize)
+		r, err := Solve(m, Options{Algorithm: OuterApprox})
+		if err != nil {
+			return false
+		}
+		switch r.Status {
+		case Optimal:
+			return m.IsFeasible(r.X, 1e-4)
+		case Infeasible:
+			return cap < 2 // only possible when even (1,1) does not fit
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package minlp
+
+import (
+	"container/heap"
+	"math"
+
+	"hslb/internal/nlp"
+)
+
+// solveNLPBB is classic nonlinear branch-and-bound: every node solves the
+// continuous NLP relaxation restricted to the node's bounds; fractional
+// integer variables (or SOS-1 sets) are branched on; NLP objective values
+// give valid lower bounds because the problems are convex.
+func solveNLPBB(w *work, opt Options) (*Result, error) {
+	m := w.m
+	intVars := m.IntegerVars()
+	open := &nodeHeap{rootNode(m)}
+	heap.Init(open)
+
+	incumbent := math.Inf(1)
+	var bestX []float64
+	nodes, nlpSolves := 0, 0
+
+	for open.Len() > 0 {
+		if nodes >= opt.MaxNodes {
+			return resultOf(bestX, incumbent, NodeLimit, nodes, nlpSolves, 0), nil
+		}
+		nd := heap.Pop(open).(*node)
+		if nd.bound >= incumbent-pruneGap(opt, incumbent) {
+			continue
+		}
+		nodes++
+
+		emptyBox := false
+		nm := m.Clone()
+		for i := range nm.Vars {
+			if nd.lower[i] > nd.upper[i] {
+				emptyBox = true
+				break
+			}
+			nm.Vars[i].Lower = nd.lower[i]
+			nm.Vars[i].Upper = nd.upper[i]
+		}
+		if emptyBox {
+			continue
+		}
+		res, err := nlp.Solve(nm, nil, opt.NLP)
+		if err != nil {
+			return nil, err
+		}
+		nlpSolves++
+		if res.Status == nlp.Infeasible {
+			continue
+		}
+		obj := res.Obj // work model minimizes a linear objective
+		if obj >= incumbent-pruneGap(opt, incumbent) {
+			continue
+		}
+		clampToNode(res.X, nd)
+
+		frac := pickFractional(res.X, intVars, opt.IntTol)
+		if frac < 0 && res.FeasErr <= opt.FeasTol {
+			incumbent = obj
+			bestX = snapInts(res.X, intVars)
+			continue
+		}
+		if frac < 0 {
+			// Integral but not NLP-converged: cannot branch further; the
+			// point is unusable, drop the node.
+			continue
+		}
+		if opt.BranchSOS {
+			if left, right, ok := branchSOS(m, nd, res.X, opt.IntTol); ok {
+				left.bound, right.bound = obj, obj
+				heap.Push(open, left)
+				heap.Push(open, right)
+				continue
+			}
+		}
+		left, right := branchVar(nd, frac, res.X[frac])
+		left.bound, right.bound = obj, obj
+		heap.Push(open, left)
+		heap.Push(open, right)
+	}
+	return resultOf(bestX, incumbent, Optimal, nodes, nlpSolves, 0), nil
+}
+
+func resultOf(x []float64, obj float64, st Status, nodes, nlpSolves, cuts int) *Result {
+	if x == nil {
+		if st == Optimal {
+			st = Infeasible
+		}
+		return &Result{Status: st, Nodes: nodes, NLPSolves: nlpSolves, Cuts: cuts}
+	}
+	return &Result{Status: st, X: x, Obj: obj, Nodes: nodes, NLPSolves: nlpSolves, Cuts: cuts}
+}
+
+func snapInts(x []float64, intVars []int) []float64 {
+	out := append([]float64(nil), x...)
+	for _, j := range intVars {
+		out[j] = math.Round(out[j])
+	}
+	return out
+}

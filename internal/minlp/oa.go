@@ -1,0 +1,189 @@
+package minlp
+
+import (
+	"container/heap"
+	"math"
+
+	"hslb/internal/expr"
+	"hslb/internal/lp"
+	"hslb/internal/nlp"
+)
+
+// maxCutRoundsPerNode bounds the resolve loop at one node. Each round adds a
+// cut that strictly separates the current LP point, so this is a safety net
+// against numerical stalls, not an algorithmic requirement.
+const maxCutRoundsPerNode = 200
+
+// solveOA is the LP/NLP-based branch-and-bound of Quesada and Grossmann as
+// described in paper §III-E: a single tree of LP relaxations built from
+// outer-approximation cuts, with NLP subproblems solved only when an
+// integer-feasible LP point violates a nonlinear constraint.
+func solveOA(w *work, opt Options) (*Result, error) {
+	m := w.m
+	n := m.NumVars()
+	intVars := m.IntegerVars()
+
+	var cuts []lp.Constraint
+	nlpSolves, cutsAdded, nodes := 0, 0, 0
+
+	addCutsAt := func(x []float64, onlyViolated bool) int {
+		added := 0
+		for i := range w.nlCons {
+			g := w.nlCons[i].Body.Eval(x)
+			if onlyViolated && g <= opt.FeasTol {
+				continue
+			}
+			aff := expr.LinearizeAt(w.nlCons[i].Body, x)
+			coef := make([]float64, n)
+			allZero := true
+			for j, c := range aff.Coef {
+				coef[j] = c
+				if c != 0 {
+					allZero = false
+				}
+			}
+			if allZero {
+				continue
+			}
+			cuts = append(cuts, lp.Constraint{Coef: coef, Sense: lp.LE, RHS: -aff.Constant})
+			added++
+		}
+		cutsAdded += added
+		return added
+	}
+
+	// Root continuous NLP relaxation: initial linearization point (the
+	// paper adds linearization constraints "derived from only a single
+	// point ... the solution of the continuous NLP relaxation").
+	relax := m.Relax()
+	rres, err := nlp.Solve(relax, nil, opt.NLP)
+	if err != nil {
+		return nil, err
+	}
+	nlpSolves++
+	if rres.Status == nlp.Optimal {
+		addCutsAt(rres.X, false)
+	}
+	// A non-optimal root NLP is not trusted as an infeasibility proof (the
+	// augmented-Lagrangian solver can stall); the LP tree below produces
+	// its own evidence via accumulated cuts.
+
+	open := &nodeHeap{rootNode(m)}
+	heap.Init(open)
+	incumbent := math.Inf(1)
+	var bestX []float64
+
+	solveNodeLP := func(nd *node) (*lp.Solution, error) {
+		p := &lp.Problem{
+			NumVars: n,
+			Obj:     w.objCoef,
+			Cons:    append(append([]lp.Constraint(nil), w.linCons...), cuts...),
+			Lower:   nd.lower,
+			Upper:   nd.upper,
+		}
+		return lp.Solve(p)
+	}
+
+	for open.Len() > 0 {
+		if nodes >= opt.MaxNodes {
+			return resultOf(bestX, incumbent, NodeLimit, nodes, nlpSolves, cutsAdded), nil
+		}
+		nd := heap.Pop(open).(*node)
+		if nd.bound >= incumbent-pruneGap(opt, incumbent) {
+			continue
+		}
+		nodes++
+
+	nodeLoop:
+		for round := 0; round < maxCutRoundsPerNode; round++ {
+			sol, err := solveNodeLP(nd)
+			if err != nil {
+				return nil, err
+			}
+			switch sol.Status {
+			case lp.Infeasible:
+				break nodeLoop
+			case lp.Unbounded:
+				// The relaxation lacks curvature information in some
+				// direction. Recover it from the node NLP relaxation.
+				nm := m.Clone()
+				for i := range nm.Vars {
+					nm.Vars[i].Lower, nm.Vars[i].Upper = nd.lower[i], nd.upper[i]
+				}
+				nres, nerr := nlp.Solve(nm, nil, opt.NLP)
+				if nerr != nil {
+					return nil, nerr
+				}
+				nlpSolves++
+				if nres.Status != nlp.Optimal || addCutsAt(nres.X, false) == 0 {
+					break nodeLoop // cannot bound this node; drop it
+				}
+				continue
+			case lp.IterationLimit:
+				break nodeLoop
+			}
+			if sol.Obj >= incumbent-pruneGap(opt, incumbent) {
+				break nodeLoop
+			}
+			clampToNode(sol.X, nd)
+
+			frac := pickFractional(sol.X, intVars, opt.IntTol)
+			if frac >= 0 {
+				// Fractional: branch, children inherit the (global) cuts.
+				if opt.BranchSOS {
+					if left, right, ok := branchSOS(m, nd, sol.X, opt.IntTol); ok {
+						left.bound, right.bound = sol.Obj, sol.Obj
+						heap.Push(open, left)
+						heap.Push(open, right)
+						break nodeLoop
+					}
+				}
+				left, right := branchVar(nd, frac, sol.X[frac])
+				left.bound, right.bound = sol.Obj, sol.Obj
+				heap.Push(open, left)
+				heap.Push(open, right)
+				break nodeLoop
+			}
+
+			// Integer feasible. Check the true nonlinear constraints.
+			if w.nlViolation(sol.X) <= opt.FeasTol {
+				incumbent = sol.Obj
+				bestX = snapInts(sol.X, intVars)
+				break nodeLoop
+			}
+
+			// Solve the NLP with integers fixed to this assignment
+			// (continuous variables keep their global bounds).
+			fixed := m.Clone()
+			for _, j := range intVars {
+				fixed.FixVar(j, math.Round(sol.X[j]))
+			}
+			fres, ferr := nlp.Solve(fixed, sol.X, opt.NLP)
+			if ferr != nil {
+				return nil, ferr
+			}
+			nlpSolves++
+			if fres.Status == nlp.Optimal && fres.FeasErr <= opt.FeasTol {
+				obj := dotObj(w.objCoef, fres.X)
+				if obj < incumbent {
+					incumbent = obj
+					bestX = snapInts(fres.X, intVars)
+				}
+				addCutsAt(fres.X, false)
+			}
+			// Separate the current LP point so the resolve makes progress.
+			if addCutsAt(sol.X, true) == 0 {
+				break nodeLoop // numerically stuck: no separating cut found
+			}
+		}
+	}
+	return resultOf(bestX, incumbent, Optimal, nodes, nlpSolves, cutsAdded), nil
+}
+
+func dotObj(c, x []float64) float64 {
+	s := 0.0
+	for i := range c {
+		s += c[i] * x[i]
+	}
+	return s
+}

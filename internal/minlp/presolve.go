@@ -1,0 +1,190 @@
+package minlp
+
+import (
+	"math"
+
+	"hslb/internal/expr"
+	"hslb/internal/model"
+)
+
+// Presolve implements the model-tightening pass the paper credits MINOTAUR
+// with ("includes advanced routines to reformulate MINLPs", §III-E):
+//
+//   - bound propagation through linear constraints (activity-based),
+//   - integrality rounding of integer variable bounds,
+//   - redundancy and infeasibility detection for nonlinear constraints via
+//     interval evaluation of their expression trees.
+//
+// It mutates the model's variable bounds in place and returns statistics.
+type PresolveStats struct {
+	Rounds          int
+	BoundsTightened int
+	RedundantNL     int // nonlinear constraints proven redundant on the box
+	Infeasible      bool
+}
+
+const presolveMaxRounds = 10
+
+// Presolve tightens m's bounds. feasTol is the feasibility tolerance used
+// for infeasibility proofs.
+func Presolve(m *model.Model, feasTol float64) PresolveStats {
+	var st PresolveStats
+	n := m.NumVars()
+
+	// Round integer bounds once up front.
+	for i := range m.Vars {
+		if m.Vars[i].Type == model.Continuous {
+			continue
+		}
+		lo, hi := math.Ceil(m.Vars[i].Lower-1e-9), math.Floor(m.Vars[i].Upper+1e-9)
+		if lo > m.Vars[i].Lower {
+			m.Vars[i].Lower = lo
+			st.BoundsTightened++
+		}
+		if hi < m.Vars[i].Upper {
+			m.Vars[i].Upper = hi
+			st.BoundsTightened++
+		}
+		if m.Vars[i].Lower > m.Vars[i].Upper {
+			st.Infeasible = true
+			return st
+		}
+	}
+
+	// Cache affine forms of the linear constraints.
+	type linCon struct {
+		coef  map[int]float64
+		rhsLo float64 // lower bound required on the body
+		rhsHi float64 // upper bound allowed on the body
+	}
+	var lins []linCon
+	var nls []int // indices of nonlinear constraints
+	for ci := range m.Cons {
+		a, ok := expr.AsAffine(m.Cons[ci].Body)
+		if !ok {
+			nls = append(nls, ci)
+			continue
+		}
+		lc := linCon{coef: a.Coef, rhsLo: math.Inf(-1), rhsHi: math.Inf(1)}
+		switch m.Cons[ci].Sense {
+		case model.LE:
+			lc.rhsHi = m.Cons[ci].RHS - a.Constant
+		case model.GE:
+			lc.rhsLo = m.Cons[ci].RHS - a.Constant
+		case model.EQ:
+			lc.rhsLo = m.Cons[ci].RHS - a.Constant
+			lc.rhsHi = lc.rhsLo
+		}
+		lins = append(lins, lc)
+	}
+
+	for round := 0; round < presolveMaxRounds; round++ {
+		changed := false
+		for _, lc := range lins {
+			// Activity bounds of the body given current variable bounds.
+			minAct, maxAct := 0.0, 0.0
+			for j, c := range lc.coef {
+				lo, hi := m.Vars[j].Lower, m.Vars[j].Upper
+				if c >= 0 {
+					minAct += c * lo
+					maxAct += c * hi
+				} else {
+					minAct += c * hi
+					maxAct += c * lo
+				}
+			}
+			if minAct > lc.rhsHi+feasTol || maxAct < lc.rhsLo-feasTol {
+				st.Infeasible = true
+				return st
+			}
+			// Tighten each variable against the residual activity.
+			for j, c := range lc.coef {
+				if c == 0 {
+					continue
+				}
+				lo, hi := m.Vars[j].Lower, m.Vars[j].Upper
+				var restMin, restMax float64
+				if c >= 0 {
+					restMin = minAct - c*lo
+					restMax = maxAct - c*hi
+				} else {
+					restMin = minAct - c*hi
+					restMax = maxAct - c*lo
+				}
+				// body = c·x_j + rest; enforce rhsLo <= body <= rhsHi.
+				var newLo, newHi float64 = lo, hi
+				if !math.IsInf(lc.rhsHi, 1) && !math.IsInf(restMin, -1) {
+					b := (lc.rhsHi - restMin) / c
+					if c > 0 && b < newHi {
+						newHi = b
+					} else if c < 0 && b > newLo {
+						newLo = b
+					}
+				}
+				if !math.IsInf(lc.rhsLo, -1) && !math.IsInf(restMax, 1) {
+					b := (lc.rhsLo - restMax) / c
+					if c > 0 && b > newLo {
+						newLo = b
+					} else if c < 0 && b < newHi {
+						newHi = b
+					}
+				}
+				if m.Vars[j].Type != model.Continuous {
+					newLo = math.Ceil(newLo - 1e-9)
+					newHi = math.Floor(newHi + 1e-9)
+				}
+				if newLo > lo+1e-12 {
+					m.Vars[j].Lower = newLo
+					st.BoundsTightened++
+					changed = true
+				}
+				if newHi < hi-1e-12 {
+					m.Vars[j].Upper = newHi
+					st.BoundsTightened++
+					changed = true
+				}
+				if m.Vars[j].Lower > m.Vars[j].Upper+feasTol {
+					st.Infeasible = true
+					return st
+				}
+			}
+		}
+		st.Rounds = round + 1
+		if !changed {
+			break
+		}
+	}
+
+	// Interval screening of nonlinear constraints over the final box.
+	box := make([]expr.Interval, n)
+	for i, v := range m.Vars {
+		box[i] = expr.Interval{Lo: v.Lower, Hi: v.Upper}
+	}
+	for _, ci := range nls {
+		iv := expr.EvalInterval(m.Cons[ci].Body, box)
+		switch m.Cons[ci].Sense {
+		case model.LE:
+			if iv.Lo > m.Cons[ci].RHS+feasTol {
+				st.Infeasible = true
+				return st
+			}
+			if iv.Hi <= m.Cons[ci].RHS {
+				st.RedundantNL++
+			}
+		case model.GE:
+			if iv.Hi < m.Cons[ci].RHS-feasTol {
+				st.Infeasible = true
+				return st
+			}
+			if iv.Lo >= m.Cons[ci].RHS {
+				st.RedundantNL++
+			}
+		case model.EQ:
+			if iv.Lo > m.Cons[ci].RHS+feasTol || iv.Hi < m.Cons[ci].RHS-feasTol {
+				st.Infeasible = true
+				return st
+			}
+		}
+	}
+	return st
+}

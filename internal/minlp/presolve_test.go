@@ -1,0 +1,132 @@
+package minlp
+
+import (
+	"math"
+	"testing"
+
+	"hslb/internal/expr"
+	"hslb/internal/model"
+)
+
+func TestPresolveTightensLinear(t *testing.T) {
+	// x + y <= 5 with y >= 3 forces x <= 2; x integer in [0, 100].
+	m := model.New()
+	x := m.AddVar("x", model.Integer, 0, 100)
+	y := m.AddVar("y", model.Continuous, 3, 100)
+	m.AddConstraint("c", expr.Sum(x, y), model.LE, 5)
+	m.SetObjective(x, model.Minimize)
+	st := Presolve(m, 1e-6)
+	if st.Infeasible {
+		t.Fatal("feasible model reported infeasible")
+	}
+	if m.Vars[x.Index].Upper != 2 {
+		t.Fatalf("x upper = %v, want 2", m.Vars[x.Index].Upper)
+	}
+	if m.Vars[y.Index].Upper != 5 {
+		t.Fatalf("y upper = %v, want 5", m.Vars[y.Index].Upper)
+	}
+	if st.BoundsTightened < 2 {
+		t.Fatalf("tightened = %d", st.BoundsTightened)
+	}
+}
+
+func TestPresolvePropagatesChains(t *testing.T) {
+	// x <= y, y <= z, z <= 3 should pull x's upper bound to 3 via rounds.
+	m := model.New()
+	x := m.AddVar("x", model.Continuous, 0, 100)
+	y := m.AddVar("y", model.Continuous, 0, 100)
+	z := m.AddVar("z", model.Continuous, 0, 3)
+	m.AddConstraint("xy", expr.Sub(x, y), model.LE, 0)
+	m.AddConstraint("yz", expr.Sub(y, z), model.LE, 0)
+	m.SetObjective(x, model.Maximize)
+	st := Presolve(m, 1e-6)
+	if m.Vars[x.Index].Upper > 3+1e-9 {
+		t.Fatalf("x upper = %v after %d rounds, want 3", m.Vars[x.Index].Upper, st.Rounds)
+	}
+}
+
+func TestPresolveIntegerRounding(t *testing.T) {
+	m := model.New()
+	x := m.AddVar("x", model.Integer, 0, 10)
+	m.Vars[x.Index].Lower = 1.2
+	m.Vars[x.Index].Upper = 7.8
+	m.SetObjective(x, model.Minimize)
+	Presolve(m, 1e-6)
+	if m.Vars[x.Index].Lower != 2 || m.Vars[x.Index].Upper != 7 {
+		t.Fatalf("bounds = [%v,%v], want [2,7]", m.Vars[x.Index].Lower, m.Vars[x.Index].Upper)
+	}
+}
+
+func TestPresolveDetectsLinearInfeasibility(t *testing.T) {
+	m := model.New()
+	x := m.AddVar("x", model.Continuous, 0, 1)
+	y := m.AddVar("y", model.Continuous, 0, 1)
+	m.AddConstraint("c", expr.Sum(x, y), model.GE, 3)
+	m.SetObjective(x, model.Minimize)
+	st := Presolve(m, 1e-6)
+	if !st.Infeasible {
+		t.Fatal("x+y >= 3 with x,y <= 1 not detected")
+	}
+}
+
+func TestPresolveDetectsNonlinearInfeasibility(t *testing.T) {
+	// 100/n <= 1 needs n >= 100, but n <= 10: interval screening should
+	// prove it without any branch-and-bound.
+	m := model.New()
+	n := m.AddVar("n", model.Integer, 1, 10)
+	m.AddConstraint("perf", expr.Div{Num: expr.C(100), Den: n}, model.LE, 1)
+	m.SetObjective(n, model.Minimize)
+	st := Presolve(m, 1e-6)
+	if !st.Infeasible {
+		t.Fatal("interval infeasibility missed")
+	}
+	// And Solve should report it with zero nodes searched.
+	r, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible || r.Nodes != 0 {
+		t.Fatalf("status %v after %d nodes; presolve should catch it", r.Status, r.Nodes)
+	}
+}
+
+func TestPresolveRedundantNonlinear(t *testing.T) {
+	// 10/n <= 100 holds for every n in [1,10]: provably redundant.
+	m := model.New()
+	n := m.AddVar("n", model.Integer, 1, 10)
+	m.AddConstraint("easy", expr.Div{Num: expr.C(10), Den: n}, model.LE, 100)
+	m.SetObjective(n, model.Minimize)
+	st := Presolve(m, 1e-6)
+	if st.RedundantNL != 1 {
+		t.Fatalf("redundant = %d, want 1", st.RedundantNL)
+	}
+}
+
+func TestPresolveDoesNotCutOptimum(t *testing.T) {
+	// Full solve with presolve in the loop must match brute force.
+	a1, d1, a2, d2 := 150.0, 2.0, 90.0, 7.0
+	N := 25
+	m := miniHSLB(a1, d1, a2, d2, N)
+	want, _, _ := bruteMiniHSLB(a1, d1, a2, d2, N)
+	r, err := Solve(m, Options{Algorithm: OuterApprox})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Obj-want) > 1e-3*want {
+		t.Fatalf("obj = %v (%v), brute force %v", r.Obj, r.Status, want)
+	}
+}
+
+func TestPresolveEqualityActivity(t *testing.T) {
+	// x + y = 10 with x in [0,3] forces y in [7,10].
+	m := model.New()
+	x := m.AddVar("x", model.Continuous, 0, 3)
+	y := m.AddVar("y", model.Continuous, 0, 100)
+	m.AddConstraint("eq", expr.Sum(x, y), model.EQ, 10)
+	m.SetObjective(x, model.Minimize)
+	Presolve(m, 1e-6)
+	if m.Vars[y.Index].Lower < 7-1e-9 || m.Vars[y.Index].Upper > 10+1e-9 {
+		t.Fatalf("y bounds = [%v,%v], want [7,10]",
+			m.Vars[y.Index].Lower, m.Vars[y.Index].Upper)
+	}
+}

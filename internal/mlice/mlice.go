@@ -1,0 +1,169 @@
+// Package mlice implements a machine-learning based chooser for the CICE
+// sea-ice decomposition, reproducing the paper's companion work (reference
+// [10], Balaprakash et al.): the ice component supports seven decomposition
+// strategies whose quality varies unpredictably with node count, the default
+// heuristic choice is frequently poor (it is why the ice scaling curve is
+// the noisy one in Figure 2), and a learned model can pick a better
+// decomposition from profiling data.
+//
+// The learner is a k-nearest-neighbour regressor over two features per
+// (node count, strategy) pair: the log node count and the block-split
+// evenness of that strategy's decomposition — a quantity computable from
+// decomposition arithmetic alone, exactly the kind of grid-geometry feature
+// the companion paper feeds its models. Training data comes from profiling
+// runs (one timed ice run per strategy per training node count).
+package mlice
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"hslb/internal/cesm"
+)
+
+// blockEvenness mirrors the CICE block arithmetic: strategy d assigns
+// blocks of size proportional to 8·d, and performance depends on how evenly
+// the resulting block count splits across nodes. 1 means a perfect split,
+// 0 the worst misfit. This is decomposition geometry, not a timing oracle —
+// it can be computed for any (nodes, strategy) without running the model.
+func blockEvenness(nodes int, d cesm.IceDecomp) float64 {
+	blocks := float64(nodes) / float64(int(d)*8)
+	frac := blocks - math.Floor(blocks)
+	return math.Abs(frac-0.5) * 2
+}
+
+// TrainingPoint is one profiled observation: the measured ice time for one
+// strategy at one node count.
+type TrainingPoint struct {
+	Nodes    int
+	Strategy cesm.IceDecomp
+	Time     float64
+}
+
+// Profile gathers training data by running the ice component once per
+// concrete strategy at each node count (7·len(nodeCounts) profiling runs).
+func Profile(res cesm.Resolution, nodeCounts []int, seed int64) []TrainingPoint {
+	var out []TrainingPoint
+	for _, n := range nodeCounts {
+		for d := cesm.DecompCartesian; d <= cesm.DecompRake; d++ {
+			cfg := cesm.Config{Resolution: res, Seed: seed, IceDecomp: d}
+			t := iceTime(cfg, n)
+			out = append(out, TrainingPoint{Nodes: n, Strategy: d, Time: t})
+		}
+	}
+	return out
+}
+
+// iceTime runs just the ice component of a benchmark configuration.
+func iceTime(cfg cesm.Config, nodes int) float64 {
+	full := cesm.Config{
+		Resolution: cfg.Resolution, Layout: cesm.Layout1,
+		TotalNodes: 4 * nodes,
+		Alloc:      cesm.Allocation{Atm: 2 * nodes, Ocn: nodes, Ice: nodes, Lnd: nodes},
+		Seed:       cfg.Seed, IceDecomp: cfg.IceDecomp,
+	}
+	tm, err := cesm.Run(full)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return tm.Comp[cesm.ICE]
+}
+
+// Chooser predicts ice times per strategy and picks the best.
+type Chooser struct {
+	k      int
+	points []TrainingPoint
+}
+
+// ErrNoData is returned when training data is empty.
+var ErrNoData = errors.New("mlice: no training data")
+
+// Train builds a k-NN chooser (k defaults to 3).
+func Train(points []TrainingPoint, k int) (*Chooser, error) {
+	if len(points) == 0 {
+		return nil, ErrNoData
+	}
+	if k <= 0 {
+		k = 3
+	}
+	cp := make([]TrainingPoint, len(points))
+	copy(cp, points)
+	return &Chooser{k: k, points: cp}, nil
+}
+
+// predict estimates the ice time of a strategy at a node count by averaging
+// the k nearest training observations in (log nodes, evenness) space.
+func (c *Chooser) predict(nodes int, d cesm.IceDecomp) float64 {
+	fx := math.Log(float64(nodes))
+	fy := blockEvenness(nodes, d)
+	type scored struct {
+		dist float64
+		time float64
+	}
+	neigh := make([]scored, 0, len(c.points))
+	for _, p := range c.points {
+		px := math.Log(float64(p.Nodes))
+		py := blockEvenness(p.Nodes, p.Strategy)
+		// Strategy identity matters beyond geometry (strategy bias), so
+		// penalize cross-strategy neighbours mildly.
+		penalty := 0.0
+		if p.Strategy != d {
+			penalty = 0.05
+		}
+		dx := (px - fx) * 2 // node scale matters more than evenness
+		dy := py - fy
+		neigh = append(neigh, scored{dist: dx*dx + dy*dy + penalty, time: p.Time})
+	}
+	sort.Slice(neigh, func(i, j int) bool { return neigh[i].dist < neigh[j].dist })
+	k := c.k
+	if k > len(neigh) {
+		k = len(neigh)
+	}
+	// Distance-weighted average.
+	num, den := 0.0, 0.0
+	for _, s := range neigh[:k] {
+		w := 1 / (s.dist + 1e-6)
+		num += w * s.time
+		den += w
+	}
+	return num / den
+}
+
+// Choose returns the predicted-best strategy for a node count.
+func (c *Chooser) Choose(nodes int) cesm.IceDecomp {
+	best, bestT := cesm.DecompCartesian, math.Inf(1)
+	for d := cesm.DecompCartesian; d <= cesm.DecompRake; d++ {
+		if t := c.predict(nodes, d); t < bestT {
+			best, bestT = d, t
+		}
+	}
+	return best
+}
+
+// Evaluation compares chooser quality on held-out node counts.
+type Evaluation struct {
+	MLTime      float64 // mean ice time with the learned choice
+	DefaultTime float64 // mean ice time with CICE's default choice
+	OracleTime  float64 // mean ice time with the exhaustive best choice
+}
+
+// Evaluate measures the chooser against the default heuristic and the
+// oracle on the given node counts (fresh noise seed = unseen runs).
+func (c *Chooser) Evaluate(res cesm.Resolution, nodeCounts []int, seed int64) Evaluation {
+	var ev Evaluation
+	for _, n := range nodeCounts {
+		ml := iceTime(cesm.Config{Resolution: res, Seed: seed, IceDecomp: c.Choose(n)}, n)
+		def := iceTime(cesm.Config{Resolution: res, Seed: seed, IceDecomp: cesm.DecompDefault}, n)
+		bestD, _ := cesm.BestIceDecomp(res, n)
+		orc := iceTime(cesm.Config{Resolution: res, Seed: seed, IceDecomp: bestD}, n)
+		ev.MLTime += ml
+		ev.DefaultTime += def
+		ev.OracleTime += orc
+	}
+	k := float64(len(nodeCounts))
+	ev.MLTime /= k
+	ev.DefaultTime /= k
+	ev.OracleTime /= k
+	return ev
+}

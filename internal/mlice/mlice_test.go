@@ -1,0 +1,80 @@
+package mlice
+
+import (
+	"testing"
+
+	"hslb/internal/cesm"
+)
+
+func trainCounts() []int {
+	var out []int
+	for n := 16; n <= 2048; n = n*5/4 + 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+func TestProfileShape(t *testing.T) {
+	pts := Profile(cesm.Res1Deg, []int{64, 128}, 1)
+	if len(pts) != 2*cesm.NumIceDecomps {
+		t.Fatalf("points = %d, want %d", len(pts), 2*cesm.NumIceDecomps)
+	}
+	for _, p := range pts {
+		if p.Time <= 0 {
+			t.Fatalf("bad time %+v", p)
+		}
+	}
+}
+
+func TestTrainRequiresData(t *testing.T) {
+	if _, err := Train(nil, 3); err != ErrNoData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChooserBeatsDefault(t *testing.T) {
+	pts := Profile(cesm.Res1Deg, trainCounts(), 42)
+	ch, err := Train(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out counts not in the training set, fresh noise seed.
+	test := []int{90, 170, 333, 700, 1500}
+	ev := ch.Evaluate(cesm.Res1Deg, test, 1234)
+	if ev.MLTime >= ev.DefaultTime {
+		t.Fatalf("ML choice (%.2f s) not better than default (%.2f s); oracle %.2f s",
+			ev.MLTime, ev.DefaultTime, ev.OracleTime)
+	}
+	// ML should capture most of the oracle's advantage.
+	gapML := ev.MLTime - ev.OracleTime
+	gapDef := ev.DefaultTime - ev.OracleTime
+	if gapML > 0.7*gapDef {
+		t.Fatalf("ML closes too little of the gap: ml-oracle %.3f vs default-oracle %.3f", gapML, gapDef)
+	}
+	t.Logf("ice mean time: ml %.2f s, default %.2f s, oracle %.2f s", ev.MLTime, ev.DefaultTime, ev.OracleTime)
+}
+
+func TestChooseReturnsConcreteStrategy(t *testing.T) {
+	pts := Profile(cesm.Res1Deg, []int{64, 96, 128, 256}, 7)
+	ch, err := Train(pts, 0) // default k
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{80, 100, 300} {
+		d := ch.Choose(n)
+		if d < cesm.DecompCartesian || d > cesm.DecompRake {
+			t.Fatalf("Choose(%d) = %v", n, d)
+		}
+	}
+}
+
+func TestBlockEvennessRange(t *testing.T) {
+	for n := 1; n < 500; n += 13 {
+		for d := cesm.DecompCartesian; d <= cesm.DecompRake; d++ {
+			e := blockEvenness(n, d)
+			if e < 0 || e > 1 {
+				t.Fatalf("evenness(%d,%v) = %v out of [0,1]", n, d, e)
+			}
+		}
+	}
+}

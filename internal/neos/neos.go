@@ -1,0 +1,303 @@
+// Package neos implements a small HTTP optimization service and client,
+// reproducing the deployment shape of the paper's automated pipeline: "The
+// AMPL code in HSLB is executed remotely via Python script on NEOS server
+// hosted by ANL" (§V). Models are submitted as AMPL text (parsed by
+// internal/ampl) and solved with the MINLP branch-and-bound solvers.
+//
+// Two interaction styles are offered, matching NEOS:
+//
+//	POST /solve          — synchronous solve, result in the response
+//	POST /submit         — enqueue a job, returns {"id": ...}
+//	GET  /result?id=...  — poll a submitted job
+//	GET  /health         — liveness probe
+package neos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+
+	"hslb/internal/ampl"
+	"hslb/internal/minlp"
+)
+
+// SolveRequest is the JSON body of /solve and /submit.
+type SolveRequest struct {
+	// Model is AMPL source text.
+	Model string `json:"model"`
+	// Algorithm is "oa" (default, LP/NLP branch-and-bound) or "nlpbb".
+	Algorithm string `json:"algorithm,omitempty"`
+	// BranchSOS enables SOS branching.
+	BranchSOS bool `json:"branch_sos,omitempty"`
+	// MaxNodes caps the search (0 = solver default).
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// RelGap is the relative optimality gap (0 = exact).
+	RelGap float64 `json:"rel_gap,omitempty"`
+}
+
+// SolveResponse is the JSON result of a solve.
+type SolveResponse struct {
+	Status    string             `json:"status"` // "optimal", "infeasible", ...
+	Objective float64            `json:"objective"`
+	Variables map[string]float64 `json:"variables,omitempty"`
+	Nodes     int                `json:"nodes"`
+	Error     string             `json:"error,omitempty"`
+}
+
+// JobStatus is the lifecycle state of an async job.
+type JobStatus string
+
+// Job states.
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+)
+
+// JobResult is the JSON result of /result.
+type JobResult struct {
+	ID     int            `json:"id"`
+	Status JobStatus      `json:"status"`
+	Result *SolveResponse `json:"result,omitempty"`
+}
+
+// Server is the solve service. The zero value is not usable; call
+// NewServer.
+type Server struct {
+	mu     sync.Mutex
+	nextID int
+	jobs   map[int]*JobResult
+	// sem bounds concurrent solves so a burst of submissions cannot fork
+	// an unbounded number of solver goroutines.
+	sem chan struct{}
+}
+
+// NewServer returns a service allowing up to maxConcurrent simultaneous
+// solves (default 4).
+func NewServer(maxConcurrent int) *Server {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 4
+	}
+	return &Server{
+		jobs: map[int]*JobResult{},
+		sem:  make(chan struct{}, maxConcurrent),
+	}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/result", s.handleResult)
+	return mux
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	resp := solve(req)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	job := &JobResult{ID: id, Status: JobQueued}
+	s.jobs[id] = job
+	s.mu.Unlock()
+
+	go func() {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		s.mu.Lock()
+		job.Status = JobRunning
+		s.mu.Unlock()
+		res := solve(req)
+		s.mu.Lock()
+		job.Result = res
+		job.Status = JobDone
+		s.mu.Unlock()
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]int{"id": id})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	var id int
+	if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil {
+		http.Error(w, "bad or missing id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var snapshot JobResult
+	if ok {
+		snapshot = *job
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshot)
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*SolveRequest, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if strings.TrimSpace(req.Model) == "" {
+		http.Error(w, "empty model", http.StatusBadRequest)
+		return nil, false
+	}
+	return &req, true
+}
+
+// solve parses and optimizes one request.
+func solve(req *SolveRequest) *SolveResponse {
+	parsed, err := ampl.Parse(req.Model)
+	if err != nil {
+		return &SolveResponse{Status: "error", Error: err.Error()}
+	}
+	opt := minlp.Options{
+		BranchSOS: req.BranchSOS,
+		MaxNodes:  req.MaxNodes,
+		RelGap:    req.RelGap,
+	}
+	switch req.Algorithm {
+	case "", "oa":
+		opt.Algorithm = minlp.OuterApprox
+	case "nlpbb":
+		opt.Algorithm = minlp.NLPBB
+	default:
+		return &SolveResponse{Status: "error", Error: "unknown algorithm " + req.Algorithm}
+	}
+	res, err := minlp.Solve(parsed.Model, opt)
+	if err != nil {
+		return &SolveResponse{Status: "error", Error: err.Error()}
+	}
+	out := &SolveResponse{Status: res.Status.String(), Nodes: res.Nodes}
+	if res.X != nil {
+		out.Objective = res.Obj
+		out.Variables = map[string]float64{}
+		for name, idx := range parsed.VarIndex {
+			out.Variables[name] = round9(res.X[idx])
+		}
+		for fam, m := range parsed.IndexedVarIndex {
+			for elem, idx := range m {
+				out.Variables[fmt.Sprintf("%s[%g]", fam, elem)] = round9(res.X[idx])
+			}
+		}
+	}
+	return out
+}
+
+func round9(v float64) float64 {
+	return math.Round(v*1e9) / 1e9
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client talks to a Server over HTTP.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: http.DefaultClient}
+}
+
+// Solve runs a synchronous solve.
+func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+	var out SolveResponse
+	if err := c.post(ctx, "/solve", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Submit enqueues a job and returns its id.
+func (c *Client) Submit(ctx context.Context, req *SolveRequest) (int, error) {
+	var out map[string]int
+	if err := c.post(ctx, "/submit", req, &out); err != nil {
+		return 0, err
+	}
+	return out["id"], nil
+}
+
+// Result polls a submitted job.
+func (c *Client) Result(ctx context.Context, id int) (*JobResult, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/result?id=%d", c.BaseURL, id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("neos: result: HTTP %d", resp.StatusCode)
+	}
+	var out JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
+	var buf strings.Builder
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+path, strings.NewReader(buf.String()))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("neos: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}

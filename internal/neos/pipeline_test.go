@@ -1,0 +1,70 @@
+package neos
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"hslb/internal/cesm"
+	"hslb/internal/core"
+	"hslb/internal/perf"
+)
+
+// TestRemotePipeline reproduces the paper's deployment end to end: HSLB
+// generates the Table I model as AMPL text and ships it to the remote
+// solver service, as the production pipeline did with NEOS (§V).
+func TestRemotePipeline(t *testing.T) {
+	srv := httptest.NewServer(NewServer(2).Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	// Spec with ground-truth models (fitting is tested elsewhere).
+	perfs := map[cesm.Component]perf.Model{}
+	for _, c := range cesm.OptimizedComponents {
+		perfs[c] = cesm.TruthModel(cesm.Res1Deg, c)
+	}
+	spec := core.Spec{
+		Resolution:     cesm.Res1Deg,
+		Layout:         cesm.Layout1,
+		TotalNodes:     64,
+		Perf:           perfs,
+		ConstrainOcean: true,
+		ConstrainAtm:   true,
+	}
+
+	src, err := core.WriteAMPL(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Solve(context.Background(), &SolveRequest{
+		Model:  src,
+		RelGap: 1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "optimal" {
+		t.Fatalf("remote status %q (%s)", res.Status, res.Error)
+	}
+
+	// The remote allocation must be executable and match the local solve.
+	alloc := cesm.Allocation{
+		Atm: int(math.Round(res.Variables["n_atm"])),
+		Ocn: int(math.Round(res.Variables["n_ocn"])),
+		Ice: int(math.Round(res.Variables["n_ice"])),
+		Lnd: int(math.Round(res.Variables["n_lnd"])),
+	}
+	if err := cesm.ValidateConfig(cesm.Config{
+		Resolution: cesm.Res1Deg, Layout: cesm.Layout1, TotalNodes: 64, Alloc: alloc,
+	}); err != nil {
+		t.Fatalf("remote allocation invalid: %v (%v)", err, alloc)
+	}
+	local, err := core.SolveAllocation(spec, core.SolverOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Variables["T"]-local.PredictedTime) > 0.001*local.PredictedTime+0.05 {
+		t.Fatalf("remote T %v vs local %v", res.Variables["T"], local.PredictedTime)
+	}
+}

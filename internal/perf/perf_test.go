@@ -1,0 +1,224 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hslb/internal/expr"
+)
+
+func approxEq(a, b, eps float64) bool {
+	d := math.Abs(a - b)
+	if d <= eps {
+		return true
+	}
+	return d <= eps*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestEvalAndTerms(t *testing.T) {
+	m := Model{A: 1000, B: 0.01, C: 1.5, D: 7}
+	n := 100.0
+	want := 1000/100.0 + 0.01*math.Pow(100, 1.5) + 7
+	if got := m.Eval(n); !approxEq(got, want, 1e-12) {
+		t.Fatalf("Eval = %v, want %v", got, want)
+	}
+	if s := m.ScalableTerm(n) + m.NonlinearTerm(n) + m.SerialTerm(); !approxEq(s, want, 1e-12) {
+		t.Fatalf("terms don't sum: %v vs %v", s, want)
+	}
+}
+
+func TestExprMatchesEval(t *testing.T) {
+	m := Model{A: 27180, B: 3e-4, C: 1.1, D: 45.6}
+	v := expr.NamedVar(0, "n")
+	e := m.Expr(v)
+	for _, n := range []float64{1, 24, 104, 512, 1664} {
+		if got, want := e.Eval([]float64{n}), m.Eval(n); !approxEq(got, want, 1e-10) {
+			t.Fatalf("Expr(%v) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestExprZeroB(t *testing.T) {
+	m := Model{A: 100, D: 5}
+	e := m.Expr(expr.NamedVar(0, "n"))
+	if got := e.Eval([]float64{10}); !approxEq(got, 15, 1e-12) {
+		t.Fatalf("Expr = %v, want 15", got)
+	}
+}
+
+func TestIsConvex(t *testing.T) {
+	cases := []struct {
+		m    Model
+		want bool
+	}{
+		{Model{A: 1, B: 0, C: 0, D: 1}, true},
+		{Model{A: 1, B: 0.1, C: 1.5, D: 1}, true},
+		{Model{A: 1, B: 0.1, C: 0.5, D: 1}, false}, // concave term
+		{Model{A: 1, B: 0.1, C: 1, D: 1}, true},
+	}
+	for i, c := range cases {
+		if got := c.m.IsConvex(); got != c.want {
+			t.Errorf("case %d: IsConvex = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestFitExactModel(t *testing.T) {
+	truth := Model{A: 7697, B: 1e-4, C: 1.1, D: 41.9}
+	ns := []int{24, 48, 96, 192, 384, 768}
+	samples := make([]Sample, len(ns))
+	for i, n := range ns {
+		samples[i] = Sample{Nodes: n, Time: truth.Eval(float64(n))}
+	}
+	res, err := Fit(samples, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2 < 0.99999 {
+		t.Fatalf("R² = %v, want ≈1 (model %v)", res.R2, res.Model)
+	}
+	// Interpolated predictions must be accurate even if parameters differ
+	// (paper §III-C: different local optima, same allocation quality).
+	for _, n := range []float64{32, 130, 500} {
+		if !approxEq(res.Model.Eval(n), truth.Eval(n), 0.02) {
+			t.Fatalf("prediction at %v: %v vs truth %v", n, res.Model.Eval(n), truth.Eval(n))
+		}
+	}
+}
+
+func TestFitPositivityConstraints(t *testing.T) {
+	// Data from a decreasing-with-noise curve: all params must be >= 0
+	// (Table II line 11).
+	rng := rand.New(rand.NewSource(9))
+	truth := Model{A: 1790, B: 0, C: 1, D: 140}
+	ns := []int{480, 960, 2048, 4096, 8192}
+	samples := make([]Sample, len(ns))
+	for i, n := range ns {
+		samples[i] = Sample{Nodes: n, Time: truth.Eval(float64(n)) * (1 + 0.05*rng.NormFloat64())}
+	}
+	res, err := Fit(samples, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+	if m.A < 0 || m.B < 0 || m.C < 0 || m.D < 0 {
+		t.Fatalf("positivity violated: %+v", m)
+	}
+}
+
+func TestFitConvexExponentOption(t *testing.T) {
+	truth := Model{A: 5000, B: 0.02, C: 1.3, D: 20}
+	ns := []int{16, 64, 256, 1024, 4096}
+	samples := make([]Sample, len(ns))
+	for i, n := range ns {
+		samples[i] = Sample{Nodes: n, Time: truth.Eval(float64(n))}
+	}
+	res, err := Fit(samples, FitOptions{ConvexExponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.C < 1-1e-9 {
+		t.Fatalf("C = %v, want >= 1 under ConvexExponent", res.Model.C)
+	}
+	if !res.Model.IsConvex() {
+		t.Fatal("ConvexExponent fit is not convex")
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := Fit([]Sample{{1, 1}, {2, 1}, {3, 1}}, FitOptions{}); err != ErrTooFewSamples {
+		t.Errorf("short input: err = %v", err)
+	}
+	bad := []Sample{{1, 1}, {2, 1}, {0, 1}, {4, 1}}
+	if _, err := Fit(bad, FitOptions{}); err == nil {
+		t.Error("zero node count accepted")
+	}
+	bad2 := []Sample{{1, 1}, {2, -3}, {3, 1}, {4, 1}}
+	if _, err := Fit(bad2, FitOptions{}); err == nil {
+		t.Error("negative time accepted")
+	}
+	bad3 := []Sample{{1, 1}, {2, math.NaN()}, {3, 1}, {4, 1}}
+	if _, err := Fit(bad3, FitOptions{}); err == nil {
+		t.Error("NaN time accepted")
+	}
+}
+
+func TestFitNoisyRandomModelsProperty(t *testing.T) {
+	// Property: for random plausible component models with mild noise, the
+	// fit interpolates within 10% at interior points.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := Model{
+			A: 500 + rng.Float64()*3e4,
+			B: rng.Float64() * 1e-4,
+			C: 1 + rng.Float64(),
+			D: 1 + rng.Float64()*100,
+		}
+		ns := SamplingPlan(8, 2048, 6)
+		samples := make([]Sample, len(ns))
+		for i, n := range ns {
+			samples[i] = Sample{Nodes: n, Time: truth.Eval(float64(n)) * (1 + 0.01*rng.NormFloat64())}
+		}
+		// ConvexExponent keeps the fit identifiable (without it the
+		// optimizer may trade the serial term for b·n^0, which predicts
+		// the samples equally well but extrapolates worse).
+		res, err := Fit(samples, FitOptions{ConvexExponent: true})
+		if err != nil {
+			return false
+		}
+		// Mixed tolerance: tight relative accuracy where times are large
+		// (what drives allocations), a small absolute floor where times
+		// are tens of seconds and the serial/nonlinear split is genuinely
+		// unidentifiable from 6 noisy points.
+		for _, n := range []float64{12, 100, 700, 1500} {
+			if math.Abs(res.Model.Eval(n)-truth.Eval(n)) > 0.10*truth.Eval(n)+10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplingPlan(t *testing.T) {
+	plan := SamplingPlan(24, 2048, 5)
+	if len(plan) < 4 {
+		t.Fatalf("plan too short: %v", plan)
+	}
+	if plan[0] != 24 || plan[len(plan)-1] != 2048 {
+		t.Fatalf("plan must span [min,max]: %v", plan)
+	}
+	for i := 1; i < len(plan); i++ {
+		if plan[i] <= plan[i-1] {
+			t.Fatalf("plan not strictly increasing: %v", plan)
+		}
+	}
+	// Geometric spacing: interior ratios should be roughly constant.
+	r1 := float64(plan[1]) / float64(plan[0])
+	r2 := float64(plan[2]) / float64(plan[1])
+	if r1 < 1.2 || math.Abs(r1-r2)/r1 > 0.5 {
+		t.Errorf("spacing not geometric-ish: %v", plan)
+	}
+}
+
+func TestSamplingPlanDegenerate(t *testing.T) {
+	plan := SamplingPlan(16, 16, 4)
+	if plan[len(plan)-1] != 16 || plan[0] != 16 {
+		t.Fatalf("degenerate plan = %v", plan)
+	}
+	plan2 := SamplingPlan(0, 8, 1)
+	if len(plan2) < 2 || plan2[0] < 1 {
+		t.Fatalf("clamped plan = %v", plan2)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := Model{A: 1, B: 2, C: 3, D: 4}.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,252 @@
+// Package report renders experiment results as aligned ASCII tables, CSV,
+// and ASCII line charts — the output layer the experiment harness uses to
+// regenerate the paper's tables and figures on a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddSeparator appends a horizontal rule row.
+func (t *Table) AddSeparator() {
+	t.rows = append(t.rows, nil)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "n/a"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 1
+	for _, w := range widths {
+		total += w + 3
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	rule := strings.Repeat("-", total)
+	fmt.Fprintln(w, rule)
+	fmt.Fprint(w, "|")
+	for i, h := range t.Headers {
+		fmt.Fprintf(w, " %-*s |", widths[i], h)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, rule)
+	for _, row := range t.rows {
+		if row == nil {
+			fmt.Fprintln(w, rule)
+			continue
+		}
+		fmt.Fprint(w, "|")
+		for i := range t.Headers {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(w, " %*s |", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, rule)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	writeCSVRow(w, t.Headers)
+	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+}
+
+// Series is one named line for a Chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders multiple series as an ASCII scatter/line chart with
+// logarithmic or linear axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+var chartMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 {
+		if c.LogX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if c.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, tx(s.X[i]))
+			xmax = math.Max(xmax, tx(s.X[i]))
+			ymin = math.Min(ymin, ty(s.Y[i]))
+			ymax = math.Max(ymax, ty(s.Y[i]))
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		fmt.Fprintln(w, c.Title+" (no data)")
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Later series are drawn first so that the first (usually primary)
+	// series wins overlapping cells.
+	for si := len(c.Series) - 1; si >= 0; si-- {
+		s := c.Series[si]
+		mark := chartMarks[si%len(chartMarks)]
+		for i := range s.X {
+			px := int(math.Round((tx(s.X[i]) - xmin) / (xmax - xmin) * float64(width-1)))
+			py := int(math.Round((ty(s.Y[i]) - ymin) / (ymax - ymin) * float64(height-1)))
+			row := height - 1 - py
+			if row >= 0 && row < height && px >= 0 && px < width {
+				grid[row][px] = mark
+			}
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	yLo, yHi := ymin, ymax
+	if c.LogY {
+		yLo, yHi = math.Pow(10, ymin), math.Pow(10, ymax)
+	}
+	xLo, xHi := xmin, xmax
+	if c.LogX {
+		xLo, xHi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	fmt.Fprintf(w, "%s: %s .. %s\n", labelOr(c.YLabel, "y"), formatFloat(yLo), formatFloat(yHi))
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s|\n", string(row))
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(w, "%s: %s .. %s", labelOr(c.XLabel, "x"), formatFloat(xLo), formatFloat(xHi))
+	if c.LogX || c.LogY {
+		fmt.Fprint(w, "  (log scale)")
+	}
+	fmt.Fprintln(w)
+	for si, s := range c.Series {
+		fmt.Fprintf(w, "  %c %s\n", chartMarks[si%len(chartMarks)], s.Name)
+	}
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+func labelOr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

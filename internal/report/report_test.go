@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Timings", "component", "nodes", "time")
+	tb.AddRow("atm", 104, 306.952)
+	tb.AddRow("ocn", 24, 362.669)
+	tb.AddSeparator()
+	tb.AddRow("total", "", 416.006)
+	s := tb.String()
+	for _, want := range []string{"Timings", "component", "atm", "307.0", "416.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// All data lines must share the same width (alignment).
+	width := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != width {
+			t.Fatalf("misaligned line %q (%d vs %d)\n%s", l, len(l), width, s)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", 1.5)
+	tb.AddSeparator()
+	tb.AddRow("plain", 2)
+	var b strings.Builder
+	tb.CSV(&b)
+	got := b.String()
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Fatalf("csv header wrong: %q", got)
+	}
+	if !strings.Contains(got, "\"x,y\"") {
+		t.Fatalf("csv quoting wrong: %q", got)
+	}
+	if strings.Count(got, "\n") != 3 {
+		t.Fatalf("csv should skip separators: %q", got)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Title:  "scaling",
+		XLabel: "nodes",
+		YLabel: "seconds",
+		LogX:   true,
+		LogY:   true,
+		Series: []Series{
+			{Name: "atm", X: []float64{32, 128, 512, 1664}, Y: []float64{900, 260, 98, 62}},
+			{Name: "ocn", X: []float64{24, 96, 384}, Y: []float64{363, 122, 62}},
+		},
+	}
+	s := c.String()
+	for _, want := range []string{"scaling", "nodes", "seconds", "* atm", "o ocn", "log scale"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chart missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "*") {
+		t.Error("no data marks plotted")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}}
+	s := c.String()
+	if s == "" || !strings.Contains(s, "pt") {
+		t.Fatalf("degenerate chart failed:\n%s", s)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		416.006: "416.0",
+		5.777:   "5.777",
+		24:      "24",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
