@@ -1,0 +1,21 @@
+# Verify recipe for hslb. `make verify` is the gate a change must pass:
+# tier-1 (build + full test suite) plus vet and a race-detector pass over
+# the concurrent service packages (solve cache, job queue, HTTP server).
+
+GO ?= go
+
+.PHONY: verify build test vet race
+
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/neos/... ./internal/solvecache/... ./internal/jobstore/...

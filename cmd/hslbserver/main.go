@@ -4,19 +4,32 @@
 // pipeline (§V: "The AMPL code in HSLB is executed remotely ... on NEOS
 // server hosted by ANL").
 //
+// Identical models (up to whitespace, comments and statement order) are
+// served from a content-addressed solve cache, and with -data-dir the job
+// queue is persisted to a write-ahead log: jobs submitted before a crash or
+// restart are recovered and completed by the next process.
+//
 // Usage:
 //
-//	hslbserver -addr :8080 -concurrency 4
+//	hslbserver -addr :8080 -concurrency 4 -data-dir /var/lib/hslb
 //
 //	curl -s localhost:8080/health
 //	curl -s -X POST localhost:8080/solve -d '{"model":"var x >= 0 <= 9; maximize o: x;"}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: listeners close, in-flight
+// solves drain (bounded by -drain-timeout), queued jobs stay in the WAL.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hslb/internal/neos"
@@ -25,14 +38,61 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	concurrency := flag.Int("concurrency", 4, "maximum simultaneous solves")
+	dataDir := flag.String("data-dir", "", "directory for the durable job WAL (empty = in-memory only)")
+	cacheSize := flag.Int("cache-size", 256, "solve-cache capacity in entries")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-attempt timeout for async jobs")
+	maxAttempts := flag.Int("max-attempts", 3, "executions per async job before it is marked failed")
+	jobTTL := flag.Duration("job-ttl", time.Hour, "retention of completed jobs")
+	syncWAL := flag.Bool("fsync", false, "fsync the WAL on every job transition")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
-	srv := neos.NewServer(*concurrency)
+	srv, err := neos.NewServerWith(neos.Config{
+		MaxConcurrent: *concurrency,
+		CacheSize:     *cacheSize,
+		DataDir:       *dataDir,
+		SyncWAL:       *syncWAL,
+		JobTimeout:    *jobTimeout,
+		MaxAttempts:   *maxAttempts,
+		JobTTL:        *jobTTL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := srv.Recovered(); n > 0 {
+		log.Printf("recovered %d in-flight job(s) from %s", n, *dataDir)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("hslbserver listening on %s (max %d concurrent solves)\n", *addr, *concurrency)
-	log.Fatal(httpSrv.ListenAndServe())
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	durability := "in-memory jobs"
+	if *dataDir != "" {
+		durability = "WAL in " + *dataDir
+	}
+	fmt.Printf("hslbserver listening on %s (max %d concurrent solves, %s)\n",
+		*addr, *concurrency, durability)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining for up to %v", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+		log.Println("shutdown complete")
+	}
 }

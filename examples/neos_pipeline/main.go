@@ -85,6 +85,9 @@ func main() {
 			result = jr.Result
 			break
 		}
+		if jr.Status == neos.JobFailed {
+			log.Fatalf("remote solve failed: %s", jr.Error)
+		}
 		time.Sleep(100 * time.Millisecond)
 	}
 	if result.Status != "optimal" {

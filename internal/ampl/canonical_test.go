@@ -1,0 +1,108 @@
+package ampl
+
+import (
+	"strings"
+	"testing"
+)
+
+const canonBase = `
+param N := 30;
+var T >= 0 <= 10000;
+var n1 integer >= 1 <= 30;
+var n2 integer >= 1 <= 30;
+minimize total: T;
+subject to t1: 100 / n1 + 5 <= T;
+subject to t2: 80 / n2 + 3 <= T;
+subject to cap: n1 + n2 <= N;
+`
+
+// Same model, reformatted: comments, collapsed whitespace, statements and
+// commutative operands reordered, param renamed, numerals respelled.
+const canonReformatted = `# node-allocation model (reformatted)
+param NODES := 3e1;
+var n2 integer >= 1 <= 30; var n1 integer >= 1 <= 30;
+var T >= 0.0 <= 10000;
+subject to cap: n2 + n1 <= NODES;   # capacity
+subject to t2: 3 + 80 / n2 <= T;
+subject to t1: 5.0 + 100 / n1 <= T;
+minimize total: T;
+`
+
+func TestCanonicalStableAcrossReformatting(t *testing.T) {
+	a, err := Canonical(canonBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonical(canonReformatted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("canonical forms differ:\n--- base ---\n%s--- reformatted ---\n%s", a, b)
+	}
+	for _, want := range []string{"var T continuous", "obj min T", "con cap:"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("canonical form missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestCanonicalDistinguishesModels(t *testing.T) {
+	a, err := Canonical(canonBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]string{
+		"different rhs":    strings.Replace(canonBase, "n1 + n2 <= N", "n1 + n2 <= 29", 1),
+		"different bound":  strings.Replace(canonBase, "n1 integer >= 1", "n1 integer >= 2", 1),
+		"different sense":  strings.Replace(canonBase, "minimize", "maximize", 1),
+		"dropped":          strings.Replace(canonBase, "subject to cap: n1 + n2 <= N;", "", 1),
+		"different coeff":  strings.Replace(canonBase, "100 / n1", "101 / n1", 1),
+		"continuous var":   strings.Replace(canonBase, "n1 integer", "n1", 1),
+		"relation changed": strings.Replace(canonBase, "n1 + n2 <= N", "n1 + n2 >= N", 1),
+	} {
+		b, err := Canonical(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a == b {
+			t.Errorf("%s: canonical form did not change", name)
+		}
+	}
+}
+
+func TestCanonicalIndexedModel(t *testing.T) {
+	base := `
+set O := {2, 4, 8};
+var z {O} binary;
+var n integer >= 1 <= 8;
+minimize o: n;
+s.t. pick: sum {k in O} z[k] = 1;
+s.t. link: sum {k in O} k * z[k] = n;
+`
+	reordered := `
+set OCN := {2, 4, 8};
+var n integer >= 1 <= 8;
+var z {OCN} binary;
+minimize o: n;
+s.t. link: sum {k in OCN} z[k] * k = n;
+s.t. pick: sum {k in OCN} z[k] = 1;
+`
+	a, err := Canonical(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonical(reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("indexed canonical forms differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestCanonicalParseError(t *testing.T) {
+	if _, err := Canonical("var x nonsense;"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,523 @@
+// Package jobstore implements the durable job queue behind the NEOS-style
+// solve service. Jobs move through an explicit lifecycle
+// (queued → running → done|failed) and every transition is appended to a
+// JSONL write-ahead log, so a crashed server recovers its queue on
+// restart: jobs that were running at the crash are re-queued and run
+// again. Retries are bounded per job with exponential backoff, and
+// completed jobs are evicted after a TTL to keep the log from growing
+// without bound.
+//
+// With an empty directory path the store runs memory-only (no WAL), which
+// preserves the pre-durability behavior for tests and ephemeral servers.
+package jobstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is the lifecycle state of a job.
+type Status string
+
+// Job lifecycle states.
+const (
+	Queued  Status = "queued"
+	Running Status = "running"
+	Done    Status = "done"
+	Failed  Status = "failed"
+)
+
+// Job is one unit of work. Request and Result are opaque JSON payloads;
+// the store never interprets them.
+type Job struct {
+	ID          int64           `json:"id"`
+	Status      Status          `json:"status"`
+	Request     json.RawMessage `json:"request"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Attempts    int             `json:"attempts"`
+	MaxAttempts int             `json:"max_attempts"`
+	EnqueuedAt  time.Time       `json:"enqueued_at"`
+	StartedAt   time.Time       `json:"started_at,omitempty"`
+	FinishedAt  time.Time       `json:"finished_at,omitempty"`
+	// NotBefore delays re-execution after a retryable failure (backoff).
+	NotBefore time.Time `json:"not_before,omitempty"`
+}
+
+// record is one WAL line: a full job snapshot ("put") or a tombstone
+// ("del"). Snapshots make replay trivial — the last record per ID wins —
+// at the cost of log size, which compaction bounds.
+type record struct {
+	Op  string `json:"op"`
+	Job *Job   `json:"job,omitempty"`
+	ID  int64  `json:"id,omitempty"`
+}
+
+// Options configures a Store.
+type Options struct {
+	// Sync fsyncs the WAL after every append. Off by default: the log is
+	// still flushed to the OS per transition (surviving process crashes),
+	// but not guaranteed against power loss.
+	Sync bool
+	// CompactEvery rewrites the WAL after this many appended records
+	// (default 4096; <0 disables auto-compaction).
+	CompactEvery int
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Store is a durable FIFO job queue. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	f       *os.File
+	w       *bufio.Writer
+	opts    Options
+	jobs    map[int64]*Job
+	nextID  int64
+	appends int
+	closed  bool
+	// ready is a capacity-1 signal that a job may be available to Dequeue.
+	ready chan struct{}
+	// recovered counts running→queued transitions performed at Open.
+	recovered int
+}
+
+const walName = "jobs.wal"
+
+// ErrConflict is returned when a transition does not match the job's
+// current state (e.g. a stale attempt reporting on a re-queued job).
+var ErrConflict = errors.New("jobstore: stale or conflicting transition")
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("jobstore: no such job")
+
+// Open loads (or creates) a store rooted at dir. dir == "" runs the store
+// memory-only, with no durability. Jobs found in the running state are
+// re-queued: they were in flight when the previous process died.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 4096
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		jobs:  map[int64]*Job{},
+		ready: make(chan struct{}, 1),
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	path := filepath.Join(dir, walName)
+	if err := s.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	// Persist crash-recovery transitions and start from a compact log.
+	if err := s.compactLocked(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	for _, j := range s.jobs {
+		if j.Status == Queued {
+			s.signal()
+			break
+		}
+	}
+	return s, nil
+}
+
+// replay loads the WAL into memory. A torn final line (crash mid-append)
+// is tolerated and dropped.
+func (s *Store) replay(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn tail from a crash mid-write; everything before it is
+			// intact, so stop here.
+			break
+		}
+		switch rec.Op {
+		case "put":
+			if rec.Job != nil {
+				j := *rec.Job
+				s.jobs[j.ID] = &j
+				if j.ID > s.nextID {
+					s.nextID = j.ID
+				}
+			}
+		case "del":
+			delete(s.jobs, rec.ID)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("jobstore: replay: %w", err)
+	}
+	for _, j := range s.jobs {
+		if j.Status == Running {
+			j.Status = Queued
+			j.StartedAt = time.Time{}
+			s.recovered++
+		}
+	}
+	return nil
+}
+
+// Recovered returns how many in-flight jobs were re-queued at Open.
+func (s *Store) Recovered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Close flushes and closes the WAL. Pending jobs stay on disk.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.f == nil {
+		return nil
+	}
+	err := s.w.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// Enqueue appends a new queued job and returns a snapshot of it.
+func (s *Store) Enqueue(request json.RawMessage, maxAttempts int) (Job, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Job{}, errors.New("jobstore: closed")
+	}
+	s.nextID++
+	j := &Job{
+		ID:          s.nextID,
+		Status:      Queued,
+		Request:     request,
+		Attempts:    0,
+		MaxAttempts: maxAttempts,
+		EnqueuedAt:  s.opts.now(),
+	}
+	s.jobs[j.ID] = j
+	if err := s.appendLocked(record{Op: "put", Job: j}); err != nil {
+		return Job{}, err
+	}
+	s.signal()
+	return *j, nil
+}
+
+// Dequeue claims the oldest runnable queued job, marking it running and
+// incrementing its attempt counter. When nothing is runnable it returns
+// (nil, wait): wait > 0 means a backed-off job becomes runnable after
+// that duration; wait == 0 means the queue is empty — block on Ready().
+func (s *Store) Dequeue() (*Job, time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.opts.now()
+	var best *Job
+	var earliest time.Time
+	for _, j := range s.jobs {
+		if j.Status != Queued {
+			continue
+		}
+		if j.NotBefore.After(now) {
+			if earliest.IsZero() || j.NotBefore.Before(earliest) {
+				earliest = j.NotBefore
+			}
+			continue
+		}
+		if best == nil || j.ID < best.ID {
+			best = j
+		}
+	}
+	if best == nil {
+		if earliest.IsZero() {
+			return nil, 0, nil
+		}
+		return nil, earliest.Sub(now), nil
+	}
+	best.Status = Running
+	best.Attempts++
+	best.StartedAt = now
+	best.NotBefore = time.Time{}
+	if err := s.appendLocked(record{Op: "put", Job: best}); err != nil {
+		return nil, 0, err
+	}
+	cp := *best
+	return &cp, 0, nil
+}
+
+// Ready signals that a job may have become runnable (enqueue, retry, or
+// crash recovery). The channel has capacity 1; drain it and call Dequeue.
+func (s *Store) Ready() <-chan struct{} { return s.ready }
+
+func (s *Store) signal() {
+	select {
+	case s.ready <- struct{}{}:
+	default:
+	}
+}
+
+// MarkDone finalizes a running job with its result. attempt must match
+// the attempt returned by Dequeue, so a stale, abandoned execution cannot
+// clobber a newer one.
+func (s *Store) MarkDone(id int64, attempt int, result json.RawMessage) error {
+	return s.finish(id, attempt, Done, result, "")
+}
+
+// MarkFailed finalizes a running job as permanently failed.
+func (s *Store) MarkFailed(id int64, attempt int, errMsg string) error {
+	return s.finish(id, attempt, Failed, nil, errMsg)
+}
+
+func (s *Store) finish(id int64, attempt int, st Status, result json.RawMessage, errMsg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if j.Status != Running || j.Attempts != attempt {
+		return ErrConflict
+	}
+	j.Status = st
+	j.Result = result
+	j.Error = errMsg
+	j.FinishedAt = s.opts.now()
+	return s.appendLocked(record{Op: "put", Job: j})
+}
+
+// Requeue reports a retryable failure of a running attempt. If the job
+// has attempts left it returns to the queue with exponential backoff
+// (backoff · 2^(attempts-1)) and Requeue returns true; otherwise the job
+// is marked failed and Requeue returns false.
+func (s *Store) Requeue(id int64, attempt int, errMsg string, backoff time.Duration) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false, ErrNotFound
+	}
+	if j.Status != Running || j.Attempts != attempt {
+		return false, ErrConflict
+	}
+	j.Error = errMsg
+	if j.Attempts >= j.MaxAttempts {
+		j.Status = Failed
+		j.FinishedAt = s.opts.now()
+		return false, s.appendLocked(record{Op: "put", Job: j})
+	}
+	j.Status = Queued
+	if backoff > 0 {
+		j.NotBefore = s.opts.now().Add(backoff << (j.Attempts - 1))
+	}
+	if err := s.appendLocked(record{Op: "put", Job: j}); err != nil {
+		return false, err
+	}
+	s.signal()
+	return true, nil
+}
+
+// Get returns a snapshot of one job.
+func (s *Store) Get(id int64) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns snapshots of all jobs, oldest first. A non-empty status
+// filters the listing.
+func (s *Store) List(status Status) []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if status != "" && j.Status != status {
+			continue
+		}
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Counts returns the number of jobs per lifecycle state.
+func (s *Store) Counts() map[Status]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[Status]int{Queued: 0, Running: 0, Done: 0, Failed: 0}
+	for _, j := range s.jobs {
+		out[j.Status]++
+	}
+	return out
+}
+
+// Depth returns the number of queued jobs.
+func (s *Store) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.Status == Queued {
+			n++
+		}
+	}
+	return n
+}
+
+// EvictCompleted removes done and failed jobs that finished at least ttl
+// ago, returning how many were evicted. Tombstones are logged so replay
+// agrees; compaction reclaims the space.
+func (s *Store) EvictCompleted(ttl time.Duration) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := s.opts.now().Add(-ttl)
+	n := 0
+	for id, j := range s.jobs {
+		if (j.Status == Done || j.Status == Failed) && !j.FinishedAt.IsZero() && !j.FinishedAt.After(cutoff) {
+			delete(s.jobs, id)
+			if err := s.appendLocked(record{Op: "del", ID: id}); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Compact rewrites the WAL to one snapshot per live job.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if s.f == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, walName)
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	bw := bufio.NewWriter(tf)
+	enc := json.NewEncoder(bw)
+	for _, j := range s.sortedJobsLocked() {
+		if err := enc.Encode(record{Op: "put", Job: j}); err != nil {
+			tf.Close()
+			return fmt.Errorf("jobstore: compact: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tf.Close()
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	// Reopen the live log handle on the compacted file.
+	s.f.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.appends = 0
+	return nil
+}
+
+func (s *Store) sortedJobsLocked() []*Job {
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+func (s *Store) appendLocked(rec record) error {
+	if s.f == nil {
+		return nil
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		return fmt.Errorf("jobstore: append: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("jobstore: append: %w", err)
+	}
+	if s.opts.Sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("jobstore: sync: %w", err)
+		}
+	}
+	s.appends++
+	if s.opts.CompactEvery > 0 && s.appends >= s.opts.CompactEvery && s.appends > 2*len(s.jobs) {
+		return s.compactLocked()
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestLifecycle(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	j, err := s.Enqueue(json.RawMessage(`{"model":"m"}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Status != Queued || j.ID != 1 {
+		t.Fatalf("enqueued job = %+v", j)
+	}
+	if d := s.Depth(); d != 1 {
+		t.Fatalf("depth = %d", d)
+	}
+
+	got, wait, err := s.Dequeue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || wait != 0 {
+		t.Fatalf("dequeue = %v, %v", got, wait)
+	}
+	if got.Status != Running || got.Attempts != 1 {
+		t.Fatalf("running job = %+v", got)
+	}
+
+	if err := s.MarkDone(got.ID, got.Attempts, json.RawMessage(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	final, ok := s.Get(got.ID)
+	if !ok || final.Status != Done || string(final.Result) != `{"ok":true}` {
+		t.Fatalf("final = %+v", final)
+	}
+	if c := s.Counts(); c[Done] != 1 || c[Queued] != 0 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestEmptyQueueDequeue(t *testing.T) {
+	s := open(t, "", Options{})
+	j, wait, err := s.Dequeue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != nil || wait != 0 {
+		t.Fatalf("empty dequeue = %v, %v", j, wait)
+	}
+}
+
+func TestFailedPermanently(t *testing.T) {
+	s := open(t, "", Options{})
+	j, _ := s.Enqueue(json.RawMessage(`{}`), 3)
+	run, _, _ := s.Dequeue()
+	if err := s.MarkFailed(j.ID, run.Attempts, "parse error"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(j.ID)
+	if got.Status != Failed || got.Error != "parse error" {
+		t.Fatalf("failed job = %+v", got)
+	}
+	// Failed jobs are not re-dequeued.
+	if next, _, _ := s.Dequeue(); next != nil {
+		t.Fatalf("failed job dequeued: %+v", next)
+	}
+}
+
+func TestRetryWithBackoffThenExhaustion(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := open(t, "", Options{now: clock})
+	j, _ := s.Enqueue(json.RawMessage(`{}`), 2)
+
+	run, _, _ := s.Dequeue()
+	retried, err := s.Requeue(j.ID, run.Attempts, "timeout", 100*time.Millisecond)
+	if err != nil || !retried {
+		t.Fatalf("requeue = %v, %v", retried, err)
+	}
+
+	// Backed off: not runnable yet, Dequeue reports the wait.
+	got, wait, _ := s.Dequeue()
+	if got != nil || wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("backoff dequeue = %v, %v", got, wait)
+	}
+	now = now.Add(200 * time.Millisecond)
+	run2, _, _ := s.Dequeue()
+	if run2 == nil || run2.Attempts != 2 {
+		t.Fatalf("second attempt = %+v", run2)
+	}
+
+	// Attempts exhausted: Requeue finalizes as failed.
+	retried, err = s.Requeue(j.ID, run2.Attempts, "timeout again", 100*time.Millisecond)
+	if err != nil || retried {
+		t.Fatalf("exhausted requeue = %v, %v", retried, err)
+	}
+	final, _ := s.Get(j.ID)
+	if final.Status != Failed || final.Error != "timeout again" {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+func TestStaleAttemptRejected(t *testing.T) {
+	s := open(t, "", Options{})
+	j, _ := s.Enqueue(json.RawMessage(`{}`), 5)
+	run, _, _ := s.Dequeue()
+	// First attempt is abandoned (timeout) and re-queued...
+	if _, err := s.Requeue(j.ID, run.Attempts, "timeout", 0); err != nil {
+		t.Fatal(err)
+	}
+	run2, _, _ := s.Dequeue()
+	// ...then the stale attempt finally reports: it must be rejected.
+	if err := s.MarkDone(j.ID, run.Attempts, nil); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale MarkDone err = %v", err)
+	}
+	if err := s.MarkDone(j.ID, run2.Attempts, json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoveryRunsExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, Options{})
+	if _, err := s1.Enqueue(json.RawMessage(`{"model":"a"}`), 3); err != nil {
+		t.Fatal(err)
+	}
+	run, _, err := s1.Dequeue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Status != Running {
+		t.Fatalf("status = %v", run.Status)
+	}
+	// Crash: the process dies mid-solve. No Close, no MarkDone.
+
+	s2 := open(t, dir, Options{})
+	if s2.Recovered() != 1 {
+		t.Fatalf("recovered = %d", s2.Recovered())
+	}
+	got, wait, err := s2.Dequeue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatalf("recovered job not dequeued (wait %v)", wait)
+	}
+	if got.ID != run.ID || string(got.Request) != `{"model":"a"}` {
+		t.Fatalf("recovered job = %+v", got)
+	}
+	// The interrupted attempt still counts: this is attempt 2.
+	if got.Attempts != 2 {
+		t.Fatalf("attempts = %d", got.Attempts)
+	}
+	if err := s2.MarkDone(got.ID, got.Attempts, json.RawMessage(`"r"`)); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly once: nothing left to run.
+	if extra, _, _ := s2.Dequeue(); extra != nil {
+		t.Fatalf("job ran twice: %+v", extra)
+	}
+}
+
+func TestRecoveryPreservesCompletedAndIDs(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, Options{})
+	a, _ := s1.Enqueue(json.RawMessage(`1`), 1)
+	b, _ := s1.Enqueue(json.RawMessage(`2`), 1)
+	run, _, _ := s1.Dequeue()
+	s1.MarkDone(run.ID, run.Attempts, json.RawMessage(`"done-a"`))
+	s1.Close()
+
+	s2 := open(t, dir, Options{})
+	gotA, _ := s2.Get(a.ID)
+	if gotA.Status != Done || string(gotA.Result) != `"done-a"` {
+		t.Fatalf("job a = %+v", gotA)
+	}
+	gotB, _ := s2.Get(b.ID)
+	if gotB.Status != Queued {
+		t.Fatalf("job b = %+v", gotB)
+	}
+	// New IDs continue after the recovered maximum.
+	c, _ := s2.Enqueue(json.RawMessage(`3`), 1)
+	if c.ID != b.ID+1 {
+		t.Fatalf("id after recovery = %d, want %d", c.ID, b.ID+1)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, Options{})
+	s1.Enqueue(json.RawMessage(`1`), 1)
+	s1.Close()
+
+	path := filepath.Join(dir, walName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append leaves a partial JSON line at the tail.
+	if _, err := f.WriteString(`{"op":"put","job":{"id":2,"sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := open(t, dir, Options{})
+	if _, ok := s2.Get(1); !ok {
+		t.Fatal("intact job lost")
+	}
+	if _, ok := s2.Get(2); ok {
+		t.Fatal("torn job resurrected")
+	}
+}
+
+func TestTTLEvictionAndCompaction(t *testing.T) {
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { return now }
+	dir := t.TempDir()
+	s := open(t, dir, Options{now: clock})
+
+	old, _ := s.Enqueue(json.RawMessage(`1`), 1)
+	run, _, _ := s.Dequeue()
+	s.MarkDone(run.ID, run.Attempts, nil)
+	fresh, _ := s.Enqueue(json.RawMessage(`2`), 1)
+
+	now = now.Add(2 * time.Hour)
+	n, err := s.EvictCompleted(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("evicted = %d", n)
+	}
+	if _, ok := s.Get(old.ID); ok {
+		t.Fatal("expired job survived")
+	}
+	if _, ok := s.Get(fresh.ID); !ok {
+		t.Fatal("queued job evicted")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compaction + eviction survive a restart.
+	s.Close()
+	s2 := open(t, dir, Options{now: clock})
+	if _, ok := s2.Get(old.ID); ok {
+		t.Fatal("expired job resurrected after restart")
+	}
+	if got, ok := s2.Get(fresh.ID); !ok || got.Status != Queued {
+		t.Fatalf("fresh job after restart = %+v", got)
+	}
+}
+
+func TestAutoCompactionBoundsWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{CompactEvery: 16})
+	for i := 0; i < 40; i++ {
+		j, _ := s.Enqueue(json.RawMessage(`{}`), 1)
+		run, _, _ := s.Dequeue()
+		s.MarkDone(run.ID, run.Attempts, nil)
+		if _, err := s.EvictCompleted(0); err != nil {
+			t.Fatal(err)
+		}
+		_ = j
+	}
+	fi, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 jobs × 4 records each ≈ 160 records uncompacted; auto-compaction
+	// with an empty live set keeps the file tiny.
+	if fi.Size() > 4096 {
+		t.Fatalf("WAL grew to %d bytes despite auto-compaction", fi.Size())
+	}
+}
+
+func TestReadySignal(t *testing.T) {
+	s := open(t, "", Options{})
+	select {
+	case <-s.Ready():
+		t.Fatal("ready before any enqueue")
+	default:
+	}
+	s.Enqueue(json.RawMessage(`{}`), 1)
+	select {
+	case <-s.Ready():
+	case <-time.After(time.Second):
+		t.Fatal("no ready signal after enqueue")
+	}
+}
+
+func TestMemoryOnlyModeHasNoFiles(t *testing.T) {
+	s := open(t, "", Options{})
+	j, err := s.Enqueue(json.RawMessage(`{}`), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, _, _ := s.Dequeue()
+	if run.ID != j.ID {
+		t.Fatalf("dequeued %d", run.ID)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package neos
+
+import (
+	"sync"
+
+	"hslb/internal/solvecache"
+)
+
+// Metrics is the JSON document served at /metrics.
+type Metrics struct {
+	Cache solvecache.Stats `json:"cache"`
+	Jobs  struct {
+		QueueDepth int            `json:"queue_depth"`
+		Counts     map[string]int `json:"counts"`
+		Recovered  int            `json:"recovered"`
+	} `json:"jobs"`
+	Solves SolveStats `json:"solves"`
+}
+
+// SolveStats summarizes solver invocations (cache hits never reach the
+// solver and are counted only under Cache.Hits).
+type SolveStats struct {
+	Count             uint64          `json:"count"`
+	LatencySumSeconds float64         `json:"latency_sum_seconds"`
+	LatencyBuckets    []LatencyBucket `json:"latency_buckets"`
+}
+
+// LatencyBucket is one cumulative histogram bucket; LE is the inclusive
+// upper bound in seconds ("+Inf" for the last bucket), Prometheus-style.
+type LatencyBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// histBounds are the bucket upper bounds in seconds. The paper's instances
+// solve in milliseconds to a few seconds locally; 60s marks runaway jobs.
+var histBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+var histLabels = []string{"0.001", "0.005", "0.025", "0.1", "0.5", "2.5", "10", "60", "+Inf"}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // len(histBounds)+1, cumulative at snapshot time
+	sum    float64
+	n      uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(histBounds)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	for i < len(histBounds) && seconds > histBounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+	h.mu.Unlock()
+}
+
+func (h *histogram) snapshot() SolveStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := SolveStats{
+		Count:             h.n,
+		LatencySumSeconds: h.sum,
+		LatencyBuckets:    make([]LatencyBucket, len(h.counts)),
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		out.LatencyBuckets[i] = LatencyBucket{LE: histLabels[i], Count: cum}
+	}
+	return out
+}

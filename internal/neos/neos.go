@@ -7,9 +7,16 @@
 // Two interaction styles are offered, matching NEOS:
 //
 //	POST /solve          — synchronous solve, result in the response
-//	POST /submit         — enqueue a job, returns {"id": ...}
+//	POST /submit         — enqueue a durable job, returns {"id": ...}
 //	GET  /result?id=...  — poll a submitted job
+//	GET  /jobs           — list jobs (optional ?status= filter)
+//	GET  /metrics        — cache/queue/latency instrumentation
 //	GET  /health         — liveness probe
+//
+// The server de-duplicates work through a content-addressed solve cache
+// (internal/solvecache) keyed on the canonical form of the AMPL model, and
+// persists its job queue in a write-ahead log (internal/jobstore) so queued
+// work survives restarts.
 package neos
 
 import (
@@ -19,7 +26,6 @@ import (
 	"math"
 	"net/http"
 	"strings"
-	"sync"
 
 	"hslb/internal/ampl"
 	"hslb/internal/minlp"
@@ -56,121 +62,16 @@ const (
 	JobQueued  JobStatus = "queued"
 	JobRunning JobStatus = "running"
 	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
 )
 
 // JobResult is the JSON result of /result.
 type JobResult struct {
-	ID     int            `json:"id"`
-	Status JobStatus      `json:"status"`
-	Result *SolveResponse `json:"result,omitempty"`
-}
-
-// Server is the solve service. The zero value is not usable; call
-// NewServer.
-type Server struct {
-	mu     sync.Mutex
-	nextID int
-	jobs   map[int]*JobResult
-	// sem bounds concurrent solves so a burst of submissions cannot fork
-	// an unbounded number of solver goroutines.
-	sem chan struct{}
-}
-
-// NewServer returns a service allowing up to maxConcurrent simultaneous
-// solves (default 4).
-func NewServer(maxConcurrent int) *Server {
-	if maxConcurrent <= 0 {
-		maxConcurrent = 4
-	}
-	return &Server{
-		jobs: map[int]*JobResult{},
-		sem:  make(chan struct{}, maxConcurrent),
-	}
-}
-
-// Handler returns the HTTP routes.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/solve", s.handleSolve)
-	mux.HandleFunc("/submit", s.handleSubmit)
-	mux.HandleFunc("/result", s.handleResult)
-	return mux
-}
-
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
-	if !ok {
-		return
-	}
-	resp := solve(req)
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
-	if !ok {
-		return
-	}
-	s.mu.Lock()
-	s.nextID++
-	id := s.nextID
-	job := &JobResult{ID: id, Status: JobQueued}
-	s.jobs[id] = job
-	s.mu.Unlock()
-
-	go func() {
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
-		s.mu.Lock()
-		job.Status = JobRunning
-		s.mu.Unlock()
-		res := solve(req)
-		s.mu.Lock()
-		job.Result = res
-		job.Status = JobDone
-		s.mu.Unlock()
-	}()
-	writeJSON(w, http.StatusAccepted, map[string]int{"id": id})
-}
-
-func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	var id int
-	if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil {
-		http.Error(w, "bad or missing id", http.StatusBadRequest)
-		return
-	}
-	s.mu.Lock()
-	job, ok := s.jobs[id]
-	var snapshot JobResult
-	if ok {
-		snapshot = *job
-	}
-	s.mu.Unlock()
-	if !ok {
-		http.Error(w, "unknown job", http.StatusNotFound)
-		return
-	}
-	writeJSON(w, http.StatusOK, snapshot)
-}
-
-func decodeRequest(w http.ResponseWriter, r *http.Request) (*SolveRequest, bool) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return nil, false
-	}
-	var req SolveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
-		return nil, false
-	}
-	if strings.TrimSpace(req.Model) == "" {
-		http.Error(w, "empty model", http.StatusBadRequest)
-		return nil, false
-	}
-	return &req, true
+	ID       int64          `json:"id"`
+	Status   JobStatus      `json:"status"`
+	Attempts int            `json:"attempts,omitempty"`
+	Result   *SolveResponse `json:"result,omitempty"`
+	Error    string         `json:"error,omitempty"`
 }
 
 // solve parses and optimizes one request.
@@ -179,6 +80,11 @@ func solve(req *SolveRequest) *SolveResponse {
 	if err != nil {
 		return &SolveResponse{Status: "error", Error: err.Error()}
 	}
+	return solveParsed(parsed, req)
+}
+
+// solveParsed optimizes an already-parsed request.
+func solveParsed(parsed *ampl.Result, req *SolveRequest) *SolveResponse {
 	opt := minlp.Options{
 		BranchSOS: req.BranchSOS,
 		MaxNodes:  req.MaxNodes,
@@ -243,16 +149,18 @@ func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 }
 
 // Submit enqueues a job and returns its id.
-func (c *Client) Submit(ctx context.Context, req *SolveRequest) (int, error) {
-	var out map[string]int
+func (c *Client) Submit(ctx context.Context, req *SolveRequest) (int64, error) {
+	var out map[string]int64
 	if err := c.post(ctx, "/submit", req, &out); err != nil {
 		return 0, err
 	}
 	return out["id"], nil
 }
 
-// Result polls a submitted job.
-func (c *Client) Result(ctx context.Context, id int) (*JobResult, error) {
+// Result polls a submitted job. Failed jobs are returned with
+// Status == JobFailed and a nil error: the HTTP request succeeded, the
+// solve did not.
+func (c *Client) Result(ctx context.Context, id int64) (*JobResult, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		fmt.Sprintf("%s/result?id=%d", c.BaseURL, id), nil)
 	if err != nil {
@@ -263,10 +171,33 @@ func (c *Client) Result(ctx context.Context, id int) (*JobResult, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	// The server reports failed jobs with a non-200 status but still ships
+	// the JobResult body.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
 		return nil, fmt.Errorf("neos: result: HTTP %d", resp.StatusCode)
 	}
 	var out JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the server's instrumentation snapshot.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("neos: metrics: HTTP %d", resp.StatusCode)
+	}
+	var out Metrics
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, err
 	}

@@ -23,7 +23,9 @@ subject to cap: n1 + n2 <= N;
 
 func newTestServer(t *testing.T) (*httptest.Server, *Client) {
 	t.Helper()
-	srv := httptest.NewServer(NewServer(2).Handler())
+	s := NewServer(2)
+	t.Cleanup(func() { s.Close() })
+	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
 	return srv, NewClient(srv.URL)
 }
@@ -171,7 +173,7 @@ s.t. c: 100 / n <= 1;
 func TestConcurrentSubmissions(t *testing.T) {
 	_, c := newTestServer(t)
 	ctx := context.Background()
-	ids := make([]int, 6)
+	ids := make([]int64, 6)
 	for i := range ids {
 		id, err := c.Submit(ctx, &SolveRequest{Model: miniModel})
 		if err != nil {

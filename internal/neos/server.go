@@ -1,0 +1,441 @@
+package neos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hslb/internal/ampl"
+	"hslb/internal/jobstore"
+	"hslb/internal/solvecache"
+)
+
+// maxRequestBody caps /solve and /submit bodies; AMPL sources for the
+// paper's largest instances are a few KiB, so 1 MiB is generous.
+const maxRequestBody = 1 << 20
+
+// Config tunes the solve service.
+type Config struct {
+	// MaxConcurrent bounds simultaneous solver invocations across the
+	// sync and async paths (default 4).
+	MaxConcurrent int
+	// CacheSize is the solve-cache capacity in entries
+	// (default solvecache.DefaultCapacity).
+	CacheSize int
+	// DataDir is the directory for the durable job WAL; empty runs the
+	// queue in memory only.
+	DataDir string
+	// SyncWAL fsyncs the WAL on every job transition.
+	SyncWAL bool
+	// JobTimeout bounds one execution attempt of an async job
+	// (default 60s; <0 disables).
+	JobTimeout time.Duration
+	// MaxAttempts bounds executions per async job, including the first
+	// (default 3).
+	MaxAttempts int
+	// RetryBackoff is the base delay before re-running a timed-out job,
+	// doubled per attempt (default 250ms).
+	RetryBackoff time.Duration
+	// JobTTL evicts done/failed jobs this long after completion
+	// (default 1h; <0 disables).
+	JobTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = time.Hour
+	}
+	return c
+}
+
+// Server is the solve service: a solve cache plus a durable job queue in
+// front of the MINLP solvers. Create with NewServer or NewServerWith and
+// release with Close.
+type Server struct {
+	cfg    Config
+	cache  *solvecache.Cache[*SolveResponse]
+	flight solvecache.Group[*SolveResponse]
+	store  *jobstore.Store
+	// sem bounds concurrent solver invocations so a burst of requests
+	// cannot fork an unbounded number of solver goroutines.
+	sem  chan struct{}
+	hist *histogram
+
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewServer returns a memory-only service allowing up to maxConcurrent
+// simultaneous solves (default 4). For durability and the full
+// configuration surface use NewServerWith.
+func NewServer(maxConcurrent int) *Server {
+	s, err := NewServerWith(Config{MaxConcurrent: maxConcurrent})
+	if err != nil {
+		// Unreachable: opening a memory-only store cannot fail.
+		panic(err)
+	}
+	return s
+}
+
+// NewServerWith returns a service for cfg, recovering any pending jobs
+// from cfg.DataDir and starting the worker pool.
+func NewServerWith(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	store, err := jobstore.Open(cfg.DataDir, jobstore.Options{Sync: cfg.SyncWAL})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: solvecache.New[*SolveResponse](cfg.CacheSize),
+		store: store,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		hist:  newHistogram(),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if cfg.JobTTL > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+	return s, nil
+}
+
+// Recovered returns how many in-flight jobs were re-queued from the WAL
+// at startup.
+func (s *Server) Recovered() int { return s.store.Recovered() }
+
+// Close drains the worker pool (in-flight solves finish; queued jobs stay
+// in the store for the next start) and closes the WAL.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		s.wg.Wait()
+		err = s.store.Close()
+	})
+	return err
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/result", s.handleResult)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// requestKey fingerprints a request: SHA-256 over the canonical form of
+// the model (whitespace/comment/ordering-insensitive, via the AMPL AST)
+// plus the solver options. The parse is returned so callers solve without
+// re-parsing.
+func requestKey(req *SolveRequest) (string, *ampl.Result, error) {
+	parsed, err := ampl.Parse(req.Model)
+	if err != nil {
+		return "", nil, err
+	}
+	alg := req.Algorithm
+	if alg == "" {
+		alg = "oa"
+	}
+	h := sha256.New()
+	io.WriteString(h, parsed.CanonicalForm())
+	fmt.Fprintf(h, "|alg=%s|sos=%t|nodes=%d|gap=%g", alg, req.BranchSOS, req.MaxNodes, req.RelGap)
+	return hex.EncodeToString(h.Sum(nil)), parsed, nil
+}
+
+// solveCached is the single solve path for both /solve and async jobs:
+// cache lookup, then singleflight-coalesced solver invocation, then cache
+// fill. Parse errors are returned uncached (status "error").
+func (s *Server) solveCached(req *SolveRequest) *SolveResponse {
+	key, parsed, err := requestKey(req)
+	if err != nil {
+		return &SolveResponse{Status: "error", Error: err.Error()}
+	}
+	if resp, ok := s.cache.Get(key); ok {
+		return resp
+	}
+	resp, _, _ := s.flight.Do(key, func() (*SolveResponse, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		start := time.Now()
+		resp := solveParsed(parsed, req)
+		s.hist.observe(time.Since(start).Seconds())
+		// Solves are deterministic, so every terminal status (optimal,
+		// infeasible, node-limit) is cacheable; "error" is not, to keep
+		// transient conditions from sticking.
+		if resp.Status != "error" {
+			s.cache.Put(key, resp)
+		}
+		return resp, nil
+	})
+	return resp
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.solveCached(req))
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	job, err := s.store.Enqueue(payload, s.cfg.MaxAttempts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int64{"id": job.ID})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad or missing id", http.StatusBadRequest)
+		return
+	}
+	job, ok := s.store.Get(id)
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	out := JobResult{
+		ID:       job.ID,
+		Status:   JobStatus(job.Status),
+		Attempts: job.Attempts,
+		Error:    job.Error,
+	}
+	if len(job.Result) > 0 {
+		var resp SolveResponse
+		if err := json.Unmarshal(job.Result, &resp); err == nil {
+			out.Result = &resp
+		}
+	}
+	code := http.StatusOK
+	if job.Status == jobstore.Failed {
+		// Surface solver failures as a non-200 so polling clients and
+		// load balancers can distinguish them without inspecting bodies.
+		code = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, code, out)
+}
+
+// JobSummary is one row of the /jobs listing.
+type JobSummary struct {
+	ID          int64     `json:"id"`
+	Status      JobStatus `json:"status"`
+	Attempts    int       `json:"attempts"`
+	MaxAttempts int       `json:"max_attempts"`
+	EnqueuedAt  time.Time `json:"enqueued_at"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+	Error       string    `json:"error,omitempty"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	status := jobstore.Status(r.URL.Query().Get("status"))
+	switch status {
+	case "", jobstore.Queued, jobstore.Running, jobstore.Done, jobstore.Failed:
+	default:
+		http.Error(w, "unknown status filter", http.StatusBadRequest)
+		return
+	}
+	jobs := s.store.List(status)
+	out := make([]JobSummary, len(jobs))
+	for i, j := range jobs {
+		out[i] = JobSummary{
+			ID:          j.ID,
+			Status:      JobStatus(j.Status),
+			Attempts:    j.Attempts,
+			MaxAttempts: j.MaxAttempts,
+			EnqueuedAt:  j.EnqueuedAt,
+			FinishedAt:  j.FinishedAt,
+			Error:       j.Error,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	counts := s.store.Counts()
+	m := Metrics{
+		Cache:  s.cache.Stats(),
+		Solves: s.hist.snapshot(),
+	}
+	m.Jobs.QueueDepth = counts[jobstore.Queued]
+	m.Jobs.Recovered = s.store.Recovered()
+	m.Jobs.Counts = map[string]int{}
+	for st, n := range counts {
+		m.Jobs.Counts[string(st)] = n
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// worker pulls jobs off the durable queue and executes them until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		job, wait, err := s.store.Dequeue()
+		if err != nil || job == nil {
+			var backoff <-chan time.Time
+			if wait > 0 {
+				backoff = time.After(wait)
+			}
+			select {
+			case <-s.quit:
+				return
+			case <-s.store.Ready():
+			case <-backoff:
+			}
+			continue
+		}
+		s.runJob(job)
+	}
+}
+
+// runJob executes one attempt of a claimed job. The solve itself cannot be
+// cancelled mid-flight (the branch-and-bound loop is CPU-bound), so a
+// timeout abandons the attempt — the solver goroutine finishes in the
+// background and at most warms the cache — and the attempt-guarded store
+// transitions keep the abandoned result from clobbering a retry.
+func (s *Server) runJob(job *jobstore.Job) {
+	var req SolveRequest
+	if err := json.Unmarshal(job.Request, &req); err != nil {
+		_ = s.store.MarkFailed(job.ID, job.Attempts, "corrupt request: "+err.Error())
+		return
+	}
+	done := make(chan *SolveResponse, 1)
+	go func() { done <- s.solveCached(&req) }()
+	var timeout <-chan time.Time
+	if s.cfg.JobTimeout > 0 {
+		timeout = time.After(s.cfg.JobTimeout)
+	}
+	select {
+	case resp := <-done:
+		s.recordAttempt(job, resp)
+	case <-timeout:
+		// Prefer a result that raced in just as the deadline fired over
+		// discarding completed work.
+		select {
+		case resp := <-done:
+			s.recordAttempt(job, resp)
+		default:
+			_, _ = s.store.Requeue(job.ID, job.Attempts,
+				fmt.Sprintf("attempt %d timed out after %v", job.Attempts, s.cfg.JobTimeout),
+				s.cfg.RetryBackoff)
+		}
+	}
+}
+
+func (s *Server) recordAttempt(job *jobstore.Job, resp *SolveResponse) {
+	if resp.Status == "error" {
+		// Parse and solver errors are deterministic: retrying cannot
+		// help, so fail permanently.
+		_ = s.store.MarkFailed(job.ID, job.Attempts, resp.Error)
+		return
+	}
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		_ = s.store.MarkFailed(job.ID, job.Attempts, "encode result: "+err.Error())
+		return
+	}
+	_ = s.store.MarkDone(job.ID, job.Attempts, payload)
+}
+
+// janitor evicts completed jobs past their TTL.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	interval := s.cfg.JobTTL / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	if interval < time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-tick.C:
+			_, _ = s.store.EvictCompleted(s.cfg.JobTTL)
+		}
+	}
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*SolveRequest, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return nil, false
+		}
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if strings.TrimSpace(req.Model) == "" {
+		http.Error(w, "empty model", http.StatusBadRequest)
+		return nil, false
+	}
+	return &req, true
+}

@@ -1,0 +1,432 @@
+package neos
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hslb/internal/jobstore"
+)
+
+// miniModelReformatted is miniModel with comments, reordered statements and
+// respelled numerals — a different byte stream, the same optimization
+// problem, so it must hit the same cache entry.
+const miniModelReformatted = `# same model, different text
+param NODES := 3e1;
+var n2 integer >= 1 <= 30;
+var n1 integer >= 1 <= 30;
+var T >= 0.0 <= 10000;
+subject to cap: n2 + n1 <= NODES;
+subject to t2: 3 + 80 / n2 <= T;
+subject to t1: 5.0 + 100 / n1 <= T;
+minimize total: T;
+`
+
+func newServerWith(t *testing.T, cfg Config) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	s, err := NewServerWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs, NewClient(hs.URL)
+}
+
+func TestSolveCacheHit(t *testing.T) {
+	_, _, c := newServerWith(t, Config{MaxConcurrent: 2})
+	ctx := context.Background()
+
+	first, err := c.Solve(ctx, &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second request: equivalent model, reformatted source.
+	second, err := c.Solve(ctx, &SolveRequest{Model: miniModelReformatted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != "optimal" || second.Status != "optimal" {
+		t.Fatalf("statuses = %q, %q", first.Status, second.Status)
+	}
+	if first.Objective != second.Objective {
+		t.Fatalf("objectives differ: %v vs %v", first.Objective, second.Objective)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Count != 1 {
+		t.Fatalf("solver invoked %d times, want 1 (cache must absorb the second request)", m.Solves.Count)
+	}
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 {
+		t.Fatalf("cache stats = %+v", m.Cache)
+	}
+}
+
+func TestDifferentOptionsMissCache(t *testing.T) {
+	_, _, c := newServerWith(t, Config{MaxConcurrent: 2})
+	ctx := context.Background()
+	if _, err := c.Solve(ctx, &SolveRequest{Model: miniModel}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(ctx, &SolveRequest{Model: miniModel, RelGap: 1e-3}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Count != 2 {
+		t.Fatalf("solver invoked %d times, want 2 (options are part of the key)", m.Solves.Count)
+	}
+}
+
+func TestSingleflightConcurrentIdenticalSolves(t *testing.T) {
+	_, _, c := newServerWith(t, Config{MaxConcurrent: 4})
+	ctx := context.Background()
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Solve(ctx, &SolveRequest{Model: miniModel})
+			if err == nil && res.Status != "optimal" {
+				err = &json.UnsupportedValueError{}
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Count != 1 {
+		t.Fatalf("solver invoked %d times for %d identical concurrent requests", m.Solves.Count, n)
+	}
+}
+
+func TestFailedJobNon200(t *testing.T) {
+	_, hs, c := newServerWith(t, Config{MaxConcurrent: 2})
+	ctx := context.Background()
+	id, err := c.Submit(ctx, &SolveRequest{Model: "var x nonsense;"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jr, err := c.Result(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status == JobFailed {
+			if jr.Error == "" {
+				t.Fatalf("failed job has no error: %+v", jr)
+			}
+			break
+		}
+		if jr.Status == JobDone {
+			t.Fatalf("unparseable model solved: %+v", jr)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %v", jr.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The raw HTTP status must be non-200.
+	resp, err := http.Get(hs.URL + "/result?id=" + jsonInt(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("/result for failed job = %d, want %d", resp.StatusCode, http.StatusUnprocessableEntity)
+	}
+	// No retries for deterministic failures.
+	jr, _ := c.Result(ctx, id)
+	if jr.Attempts != 1 {
+		t.Fatalf("parse error retried: attempts = %d", jr.Attempts)
+	}
+}
+
+func jsonInt(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	_, hs, _ := newServerWith(t, Config{MaxConcurrent: 1})
+	big := `{"model":"` + strings.Repeat("x", maxRequestBody+1) + `"}`
+	resp, err := http.Post(hs.URL+"/solve", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+}
+
+func TestJobsListing(t *testing.T) {
+	_, hs, c := newServerWith(t, Config{MaxConcurrent: 2})
+	ctx := context.Background()
+	id, err := c.Submit(ctx, &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForStatus(t, c, id, JobDone)
+
+	resp, err := http.Get(hs.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/jobs = %d", resp.StatusCode)
+	}
+	var jobs []JobSummary
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != id || jobs[0].Status != JobDone {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+
+	// Status filter.
+	resp2, err := http.Get(hs.URL + "/jobs?status=failed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var none []JobSummary
+	if err := json.NewDecoder(resp2.Body).Decode(&none); err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("failed filter returned %+v", none)
+	}
+	// Bad filter.
+	resp3, err := http.Get(hs.URL + "/jobs?status=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus filter = %d", resp3.StatusCode)
+	}
+}
+
+func waitForStatus(t *testing.T, c *Client, id int64, want JobStatus) *JobResult {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jr, err := c.Result(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status == want {
+			return jr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d stuck in %v waiting for %v", id, jr.Status, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCrashRecoveryCompletesQueuedJob is the acceptance scenario: a server
+// dies with work outstanding; a new server on the same -data-dir finishes
+// it exactly once.
+func TestCrashRecoveryCompletesQueuedJob(t *testing.T) {
+	dir := t.TempDir()
+
+	// Simulate the dying server's WAL: one job killed mid-run (running,
+	// never finished) and one still queued behind it.
+	store, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runningReq, _ := json.Marshal(&SolveRequest{Model: "var x integer >= 0 <= 9; maximize o: x;"})
+	if _, err := store.Enqueue(runningReq, 3); err != nil {
+		t.Fatal(err)
+	}
+	midRun, _, err := store.Dequeue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if midRun.Status != jobstore.Running {
+		t.Fatalf("mid-run status = %v", midRun.Status)
+	}
+	queuedReq, _ := json.Marshal(&SolveRequest{Model: miniModel})
+	queued, err := store.Enqueue(queuedReq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Close() // flushes; the "crash" is never marking midRun done
+
+	// Restart: the new server must recover both jobs and finish them.
+	s, hs, c := newServerWith(t, Config{MaxConcurrent: 2, DataDir: dir})
+	if s.Recovered() != 1 {
+		t.Fatalf("recovered = %d, want 1 (the mid-run job)", s.Recovered())
+	}
+	_ = hs
+	done1 := waitForStatus(t, c, queued.ID, JobDone)
+	if done1.Result == nil || done1.Result.Status != "optimal" {
+		t.Fatalf("recovered queued job result: %+v", done1.Result)
+	}
+	done2 := waitForStatus(t, c, midRun.ID, JobDone)
+	if done2.Result == nil || done2.Result.Status != "optimal" {
+		t.Fatalf("recovered mid-run job result: %+v", done2.Result)
+	}
+	if done2.Result.Objective != 9 {
+		t.Fatalf("mid-run objective = %v", done2.Result.Objective)
+	}
+	// Exactly once: the interrupted attempt counts, so the re-run is
+	// attempt 2 and nothing is queued or running afterwards.
+	if done2.Attempts != 2 {
+		t.Fatalf("mid-run attempts = %d, want 2", done2.Attempts)
+	}
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs.QueueDepth != 0 || m.Jobs.Counts["running"] != 0 || m.Jobs.Counts["done"] != 2 {
+		t.Fatalf("post-recovery jobs = %+v", m.Jobs)
+	}
+}
+
+// TestDurableSubmitSurvivesRestart exercises the full server-side loop:
+// submit against server A, kill A before it can run the job, boot server B
+// on the same data dir, read the result from B.
+func TestDurableSubmitSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// Server A: zero workers would be ideal, but the pool size is also the
+	// solver bound; instead give A a long job queue head start by closing
+	// it immediately after submit. Close drains workers, so the job may
+	// complete on A or stay queued — both are valid crash points; either
+	// way B must serve the result.
+	a, err := NewServerWith(Config{MaxConcurrent: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := httptest.NewServer(a.Handler())
+	ca := NewClient(ha.URL)
+	id, err := ca.Submit(context.Background(), &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha.Close()
+	a.Close()
+
+	b, hb, cb := newServerWith(t, Config{MaxConcurrent: 1, DataDir: dir})
+	_ = b
+	_ = hb
+	jr := waitForStatus(t, cb, id, JobDone)
+	if jr.Result == nil || jr.Result.Status != "optimal" {
+		t.Fatalf("result after restart: %+v", jr)
+	}
+}
+
+func TestAsyncJobUsesCache(t *testing.T) {
+	_, _, c := newServerWith(t, Config{MaxConcurrent: 2})
+	ctx := context.Background()
+	if _, err := c.Solve(ctx, &SolveRequest{Model: miniModel}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(ctx, &SolveRequest{Model: miniModelReformatted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForStatus(t, c, id, JobDone)
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Count != 1 {
+		t.Fatalf("async path re-solved a cached model: count = %d", m.Solves.Count)
+	}
+}
+
+func TestMetricsHistogram(t *testing.T) {
+	_, _, c := newServerWith(t, Config{MaxConcurrent: 1})
+	ctx := context.Background()
+	if _, err := c.Solve(ctx, &SolveRequest{Model: miniModel}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Count != 1 || m.Solves.LatencySumSeconds <= 0 {
+		t.Fatalf("solve stats = %+v", m.Solves)
+	}
+	bs := m.Solves.LatencyBuckets
+	if len(bs) == 0 || bs[len(bs)-1].LE != "+Inf" || bs[len(bs)-1].Count != 1 {
+		t.Fatalf("buckets = %+v", bs)
+	}
+	// Cumulative counts are monotone.
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Count < bs[i-1].Count {
+			t.Fatalf("bucket counts not cumulative: %+v", bs)
+		}
+	}
+}
+
+func TestTimedOutJobEventuallyCompletes(t *testing.T) {
+	// This model takes ≥20ms of branch-and-bound (~150 nodes), so an 8ms
+	// per-attempt timeout forces at least one retry; the abandoned
+	// attempt's solver still warms the cache, so a later attempt finishes
+	// in microseconds — inside the timeout. The job must converge to
+	// done, never run unbounded.
+	const slowModel = `
+param N := 2000;
+var T >= 0 <= 100000;
+var n1 integer >= 1 <= 2000;
+var n2 integer >= 1 <= 2000;
+var n3 integer >= 1 <= 2000;
+var n4 integer >= 1 <= 2000;
+var n5 integer >= 1 <= 2000;
+var n6 integer >= 1 <= 2000;
+minimize total: T;
+subject to t1: 11000 / n1 + 1 <= T;
+subject to t2: 12000 / n2 + 2 <= T;
+subject to t3: 13000 / n3 + 3 <= T;
+subject to t4: 14000 / n4 + 4 <= T;
+subject to t5: 15000 / n5 + 5 <= T;
+subject to t6: 16000 / n6 + 6 <= T;
+subject to cap: n1 + n2 + n3 + n4 + n5 + n6 <= N;
+`
+	_, _, c := newServerWith(t, Config{
+		MaxConcurrent: 2,
+		JobTimeout:    8 * time.Millisecond,
+		MaxAttempts:   10,
+		RetryBackoff:  20 * time.Millisecond,
+	})
+	id, err := c.Submit(context.Background(), &SolveRequest{Model: slowModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := waitForStatus(t, c, id, JobDone)
+	if jr.Attempts < 2 {
+		t.Fatalf("attempts = %d, expected at least one timeout retry", jr.Attempts)
+	}
+	if jr.Result == nil || jr.Result.Status != "optimal" {
+		t.Fatalf("result = %+v", jr.Result)
+	}
+}

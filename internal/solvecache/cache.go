@@ -1,0 +1,107 @@
+// Package solvecache provides the content-addressed result cache used by
+// the NEOS-style solve service: a bounded LRU keyed by canonical model
+// fingerprints, with hit/miss/eviction counters and a singleflight group
+// that coalesces concurrent identical solves into one solver invocation.
+//
+// The cache is deliberately generic over the value type so it can hold
+// solve responses today and other derived artifacts (fitted performance
+// models, presolve results) later.
+package solvecache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCapacity is used when New is given a non-positive capacity.
+const DefaultCapacity = 256
+
+// Cache is a thread-safe LRU cache with instrumentation counters.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// New returns an empty cache bounded to capacity entries
+// (DefaultCapacity when capacity <= 0).
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores val under key, evicting the least recently used entry when
+// the cache is full.
+func (c *Cache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[V]).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,44 @@
+package solvecache
+
+import "sync"
+
+// Group coalesces concurrent calls with the same key into a single
+// execution of fn; every caller receives the one result. It is the
+// de-duplication layer in front of the cache: N identical /solve requests
+// arriving together run the MINLP solver once, not N times.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+}
+
+type call[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Do executes fn once per key among concurrent callers. shared reports
+// whether the result was produced by another in-flight caller.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &call[V]{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}
