@@ -1,10 +1,12 @@
 # Verify recipe for hslb. `make verify` is the gate a change must pass:
 # tier-1 (build + full test suite) plus vet and a race-detector pass over
-# the concurrent service packages (solve cache, job queue, HTTP server).
+# the whole module — fault injection and the resilient gather exercise
+# concurrency well outside the service packages, so the race pass covers
+# everything.
 
 GO ?= go
 
-.PHONY: verify build test vet race
+.PHONY: verify build test vet race chaos
 
 verify: build vet test race
 
@@ -18,4 +20,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/neos/... ./internal/solvecache/... ./internal/jobstore/...
+	$(GO) test -race ./...
+
+# Fault-injection suite: the chaos pipeline acceptance scenario plus the
+# resilient-gather and fault-plan tests. Seeds are fixed inside the tests,
+# so every run injects the identical fault ledger.
+chaos:
+	$(GO) test -v -run 'TestChaosPipelineAcceptance|TestPipelineSolveDeadlineLadder' ./internal/core/
+	$(GO) test -v -run 'TestResilientRun|TestInsufficientSamples|TestCheckpoint|TestRejectOutliers' ./internal/bench/
+	$(GO) test -v -run 'TestFaultPlan|TestInjected' ./internal/cesm/

@@ -41,6 +41,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the durable job WAL (empty = in-memory only)")
 	cacheSize := flag.Int("cache-size", 256, "solve-cache capacity in entries")
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-attempt timeout for async jobs")
+	solveTimeout := flag.Duration("solve-timeout", 120*time.Second, "wall-clock budget per solver invocation; on expiry the best incumbent is returned with status \"deadline\" (<0 disables)")
 	maxAttempts := flag.Int("max-attempts", 3, "executions per async job before it is marked failed")
 	jobTTL := flag.Duration("job-ttl", time.Hour, "retention of completed jobs")
 	syncWAL := flag.Bool("fsync", false, "fsync the WAL on every job transition")
@@ -55,6 +56,7 @@ func main() {
 		JobTimeout:    *jobTimeout,
 		MaxAttempts:   *maxAttempts,
 		JobTTL:        *jobTTL,
+		SolveTimeout:  *solveTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)

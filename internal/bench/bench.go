@@ -4,9 +4,9 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sort"
 
 	"hslb/internal/cesm"
 	"hslb/internal/perf"
@@ -29,6 +29,24 @@ type Campaign struct {
 	// Allocate maps a total node count to the allocation used for that
 	// benchmark run. Nil uses DefaultAllocation.
 	Allocate func(res cesm.Resolution, layout cesm.Layout, total int) cesm.Allocation
+
+	// Faults, if non-nil, injects deterministic failures into every run
+	// (see cesm.FaultPlan) and routes each run through the CESM
+	// timing-log text artifact, so corrupted logs surface as failures.
+	Faults *cesm.FaultPlan
+	// Retry configures per-run timeout, retry and backoff behavior. The
+	// zero value retries recoverable failures up to DefaultMaxAttempts
+	// times with exponential backoff.
+	Retry RetryPolicy
+	// Checkpoint, if non-empty, is a JSONL file recording completed runs.
+	// A campaign restarted with the same plan and checkpoint replays
+	// completed runs from the file instead of re-executing them.
+	Checkpoint string
+	// OutlierK, if > 0, enables MAD-based outlier rejection of gathered
+	// samples before fitting: samples whose relative residual from a
+	// preliminary fit deviates from the median by more than OutlierK
+	// scaled-MAD are dropped (recommended 4; see Data.RejectOutliers).
+	OutlierK float64
 }
 
 // RunRecord summarizes one benchmark run for cost accounting.
@@ -98,66 +116,31 @@ func DefaultAllocation(res cesm.Resolution, layout cesm.Layout, total int) cesm.
 		}
 	}
 	ice := atm * 3 / 4
+	lnd := atm - ice
+	// Clamp every component to at least one node. For atm >= 2 the 3:1
+	// split always leaves room for both; the clamps also keep degenerate
+	// inputs (atm capped to 1 by a tiny machine) from emitting a
+	// zero-node component.
 	if ice < 1 {
 		ice = 1
 	}
-	lnd := atm - ice
 	if lnd < 1 {
 		lnd = 1
+	}
+	if ice+lnd > atm && ice > 1 {
 		ice = atm - lnd
+		if ice < 1 {
+			ice = 1
+		}
 	}
 	return cesm.Allocation{Atm: atm, Ocn: ocn, Ice: ice, Lnd: lnd}
 }
 
-// Run executes the campaign and returns per-component samples.
+// Run executes the campaign and returns per-component samples. It is the
+// context-free form of RunContext; the failure report is discarded.
 func (c Campaign) Run() (*Data, error) {
-	if len(c.NodeCounts) == 0 {
-		return nil, ErrNoCounts
-	}
-	repeats := c.Repeats
-	if repeats == 0 {
-		repeats = 1
-	}
-	alloc := c.Allocate
-	if alloc == nil {
-		alloc = DefaultAllocation
-	}
-	data := &Data{
-		Resolution: c.Resolution,
-		Layout:     c.Layout,
-		Samples:    map[cesm.Component][]perf.Sample{},
-	}
-	for _, total := range c.NodeCounts {
-		if total < 4 {
-			return nil, fmt.Errorf("bench: node count %d too small for a coupled run", total)
-		}
-		a := alloc(c.Resolution, c.Layout, total)
-		for rep := 0; rep < repeats; rep++ {
-			tm, err := cesm.Run(cesm.Config{
-				Resolution: c.Resolution,
-				Layout:     c.Layout,
-				TotalNodes: total,
-				Alloc:      a,
-				Seed:       c.Seed + int64(rep)*1000003,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: run at %d nodes: %w", total, err)
-			}
-			for _, comp := range cesm.OptimizedComponents {
-				data.Samples[comp] = append(data.Samples[comp], perf.Sample{
-					Nodes: a.Get(comp),
-					Time:  tm.Comp[comp],
-				})
-			}
-			data.Records = append(data.Records, RunRecord{TotalNodes: total, Total: tm.Total})
-			data.Runs++
-		}
-	}
-	for _, comp := range cesm.OptimizedComponents {
-		s := data.Samples[comp]
-		sort.Slice(s, func(i, j int) bool { return s[i].Nodes < s[j].Nodes })
-	}
-	return data, nil
+	data, _, err := c.RunContext(context.Background())
+	return data, err
 }
 
 // FitAll fits the Table II performance model to every component's samples

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"hslb/internal/cesm"
+	"hslb/internal/perf"
+)
+
+// Campaign checkpointing: every completed run is appended to a JSONL file
+// as soon as it finishes, so a campaign killed mid-flight resumes where
+// it stopped instead of re-spending machine time. The first line is a
+// header fingerprinting the campaign plan; a resume against a different
+// plan is refused. A torn final line (the process died mid-write) is
+// discarded and the file truncated back to the last complete record.
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// ErrCheckpointMismatch is returned when a checkpoint file was written by
+// a different campaign plan than the one resuming from it.
+var ErrCheckpointMismatch = errors.New("bench: checkpoint belongs to a different campaign")
+
+// ckHeader fingerprints the campaign plan.
+type ckHeader struct {
+	Version    int    `json:"version"`
+	Resolution string `json:"resolution"`
+	Layout     int    `json:"layout"`
+	Seed       int64  `json:"seed"`
+	Repeats    int    `json:"repeats"`
+	NodeCounts []int  `json:"node_counts"`
+}
+
+// ckEntry is one completed run. Times are stored as exact round-tripping
+// float64s (encoding/json uses the shortest representation that parses
+// back bit-identically), so a resumed campaign reproduces the
+// uninterrupted campaign's Data exactly.
+type ckEntry struct {
+	Total    int                `json:"total"`
+	Rep      int                `json:"rep"`
+	Nodes    map[string]int     `json:"nodes"`
+	Times    map[string]float64 `json:"times"`
+	RunTotal float64            `json:"run_total"`
+}
+
+type ckKey struct{ total, rep int }
+
+type checkpoint struct {
+	f       *os.File
+	entries map[ckKey]ckEntry
+}
+
+func headerOf(c Campaign, repeats int) ckHeader {
+	return ckHeader{
+		Version:    checkpointVersion,
+		Resolution: c.Resolution.String(),
+		Layout:     int(c.Layout),
+		Seed:       c.Seed,
+		Repeats:    repeats,
+		NodeCounts: append([]int(nil), c.NodeCounts...),
+	}
+}
+
+func sameHeader(a, b ckHeader) bool {
+	if a.Version != b.Version || a.Resolution != b.Resolution || a.Layout != b.Layout ||
+		a.Seed != b.Seed || a.Repeats != b.Repeats || len(a.NodeCounts) != len(b.NodeCounts) {
+		return false
+	}
+	for i := range a.NodeCounts {
+		if a.NodeCounts[i] != b.NodeCounts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// openCheckpoint loads (or creates) the checkpoint file for a campaign
+// and positions it for appending.
+func openCheckpoint(path string, c Campaign, repeats int) (*checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bench: open checkpoint: %w", err)
+	}
+	ck := &checkpoint{f: f, entries: map[ckKey]ckEntry{}}
+	want := headerOf(c, repeats)
+
+	br := bufio.NewReader(f)
+	var validEnd int64
+	first := true
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			// A torn trailing line from a crash mid-write is discarded.
+			if err == io.EOF {
+				break
+			}
+			f.Close()
+			return nil, fmt.Errorf("bench: read checkpoint: %w", err)
+		}
+		if first {
+			first = false
+			var got ckHeader
+			if json.Unmarshal(line, &got) != nil || !sameHeader(got, want) {
+				f.Close()
+				return nil, fmt.Errorf("%w: %s", ErrCheckpointMismatch, path)
+			}
+			validEnd += int64(len(line))
+			continue
+		}
+		var e ckEntry
+		if json.Unmarshal(line, &e) != nil {
+			break // treat an unparseable record like a torn line
+		}
+		ck.entries[ckKey{e.Total, e.Rep}] = e
+		validEnd += int64(len(line))
+	}
+
+	if first {
+		// Fresh (or empty) file: write the header.
+		if err := ck.writeJSON(want); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return ck, nil
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bench: truncate torn checkpoint: %w", err)
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return ck, nil
+}
+
+func (ck *checkpoint) lookup(total, rep int) (ckEntry, bool) {
+	e, ok := ck.entries[ckKey{total, rep}]
+	return e, ok
+}
+
+func (ck *checkpoint) append(e ckEntry) error {
+	return ck.writeJSON(e)
+}
+
+func (ck *checkpoint) writeJSON(v interface{}) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := ck.f.Write(b); err != nil {
+		return fmt.Errorf("bench: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (ck *checkpoint) close() error { return ck.f.Close() }
+
+// entryOf converts one completed run into its checkpoint record.
+func entryOf(total, rep int, a cesm.Allocation, tm *cesm.Timing) ckEntry {
+	e := ckEntry{
+		Total:    total,
+		Rep:      rep,
+		Nodes:    map[string]int{},
+		Times:    map[string]float64{},
+		RunTotal: tm.Total,
+	}
+	for _, comp := range cesm.OptimizedComponents {
+		e.Nodes[comp.String()] = a.Get(comp)
+		e.Times[comp.String()] = tm.Comp[comp]
+	}
+	return e
+}
+
+// replayEntry appends a checkpointed run to the campaign data exactly as
+// the live path would have.
+func replayEntry(data *Data, e ckEntry) {
+	for _, comp := range cesm.OptimizedComponents {
+		data.Samples[comp] = append(data.Samples[comp], perf.Sample{
+			Nodes: e.Nodes[comp.String()],
+			Time:  e.Times[comp.String()],
+		})
+	}
+	data.Records = append(data.Records, RunRecord{TotalNodes: e.Total, Total: e.RunTotal})
+	data.Runs++
+}

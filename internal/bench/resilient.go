@@ -1,0 +1,492 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"hslb/internal/cesm"
+	"hslb/internal/perf"
+)
+
+// This file is the resilient gather runner. The paper's campaigns ran on a
+// real machine where short jobs crash, hang and emit corrupted timing
+// files; one bad run must cost a retry, not the campaign. Each run gets a
+// per-attempt timeout and bounded exponential backoff with deterministic
+// jitter; runs that exhaust their attempts are dropped and reported, and
+// the campaign fails only when a component no longer retains enough
+// distinct node counts to fit the Table II model.
+
+// Retry defaults.
+const (
+	DefaultMaxAttempts = 3
+	DefaultBaseBackoff = 100 * time.Millisecond
+	DefaultMaxBackoff  = 2 * time.Second
+)
+
+// RetryPolicy bounds the per-run retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the number of executions per run including the
+	// first (default DefaultMaxAttempts).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry, doubled per
+	// attempt (default DefaultBaseBackoff). Jitter in [0.5, 1.5)× is
+	// applied, derived deterministically from the campaign seed.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the grown delay (default DefaultMaxBackoff).
+	MaxBackoff time.Duration
+	// RunTimeout bounds one attempt's wall-clock via context deadline;
+	// 0 disables. Hung runs only resolve through this (or an outer
+	// context deadline).
+	RunTimeout time.Duration
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = DefaultMaxAttempts
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = DefaultBaseBackoff
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = DefaultMaxBackoff
+	}
+	return r
+}
+
+// MinDistinctCounts is how many distinct node counts per component a
+// campaign must retain after drops and outlier rejection — the paper's
+// "at least four different node counts" floor for fitting (§III-C).
+const MinDistinctCounts = 4
+
+// ErrInsufficientSamples is matched (via errors.Is) by the typed
+// *InsufficientSamplesError a campaign returns when failures leave a
+// component with too few distinct node counts to fit.
+var ErrInsufficientSamples = errors.New("bench: insufficient samples after failures")
+
+// InsufficientSamplesError reports which component fell below the floor.
+type InsufficientSamplesError struct {
+	Component cesm.Component
+	Distinct  int // distinct node counts retained
+	Need      int
+}
+
+func (e *InsufficientSamplesError) Error() string {
+	return fmt.Sprintf("bench: insufficient samples for %v: %d distinct node counts retained, need %d",
+		e.Component, e.Distinct, e.Need)
+}
+
+// Is lets errors.Is(err, ErrInsufficientSamples) match.
+func (e *InsufficientSamplesError) Is(target error) bool { return target == ErrInsufficientSamples }
+
+// errCorruptLog marks a run whose timing log failed to parse or carried
+// non-finite times — recoverable by retrying.
+var errCorruptLog = errors.New("bench: corrupted timing log")
+
+// FaultEvent is one failed run attempt.
+type FaultEvent struct {
+	TotalNodes int    `json:"total_nodes"`
+	Rep        int    `json:"rep"`
+	Attempt    int    `json:"attempt"` // 0-based
+	Seed       int64  `json:"seed"`    // the attempt's machine seed
+	Kind       string `json:"kind"`    // crash, hang, corrupt, timeout
+	Err        string `json:"err"`
+}
+
+// DroppedRun is a run that exhausted its attempts and was abandoned.
+type DroppedRun struct {
+	TotalNodes int    `json:"total_nodes"`
+	Rep        int    `json:"rep"`
+	Attempts   int    `json:"attempts"`
+	LastErr    string `json:"last_err"`
+}
+
+// RejectedSample is a gathered sample discarded by MAD outlier rejection.
+type RejectedSample struct {
+	Component string  `json:"component"`
+	Nodes     int     `json:"nodes"`
+	Time      float64 `json:"time"`
+	// Residual is the relative deviation from the preliminary fit.
+	Residual float64 `json:"residual"`
+}
+
+// FailureReport summarizes everything that went wrong (and was survived)
+// during a campaign: every failed attempt, every abandoned run, every
+// rejected sample. A fault-free campaign reports zero events.
+type FailureReport struct {
+	// Attempts counts run attempts actually executed (excluding resumed
+	// runs); Completed counts runs that produced a sample set.
+	Attempts  int `json:"attempts"`
+	Completed int `json:"completed"`
+	// Resumed counts runs replayed from the checkpoint file.
+	Resumed int `json:"resumed"`
+	// Retries counts failed attempts that were retried.
+	Retries  int              `json:"retries"`
+	Faults   []FaultEvent     `json:"faults,omitempty"`
+	Dropped  []DroppedRun     `json:"dropped,omitempty"`
+	Rejected []RejectedSample `json:"rejected,omitempty"`
+}
+
+// AttemptSeed is the machine seed of one run attempt. Attempt 0
+// reproduces the historical per-repeat seeds, so pre-existing campaigns
+// replay identically; retries perturb the seed so a deterministic
+// injected fault does not recur forever.
+func AttemptSeed(base int64, rep, attempt int) int64 {
+	return base + int64(rep)*1000003 + int64(attempt)*500009
+}
+
+// RunContext executes the campaign under ctx and returns the gathered
+// samples plus a report of every failure survived along the way.
+//
+// Recoverable failures (injected faults, timeouts, corrupted logs) are
+// retried per Retry and, if persistent, drop that single run; the
+// campaign aborts only on context cancellation, configuration errors, or
+// when a component retains fewer than MinDistinctCounts distinct node
+// counts (ErrInsufficientSamples).
+func (c Campaign) RunContext(ctx context.Context) (*Data, *FailureReport, error) {
+	if len(c.NodeCounts) == 0 {
+		return nil, nil, ErrNoCounts
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return nil, nil, err
+	}
+	for _, total := range c.NodeCounts {
+		if total < 4 {
+			return nil, nil, fmt.Errorf("bench: node count %d too small for a coupled run", total)
+		}
+	}
+	repeats := c.Repeats
+	if repeats == 0 {
+		repeats = 1
+	}
+	alloc := c.Allocate
+	if alloc == nil {
+		alloc = DefaultAllocation
+	}
+	retry := c.Retry.withDefaults()
+
+	var ck *checkpoint
+	if c.Checkpoint != "" {
+		var err error
+		ck, err = openCheckpoint(c.Checkpoint, c, repeats)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer ck.close()
+	}
+
+	report := &FailureReport{}
+	data := &Data{
+		Resolution: c.Resolution,
+		Layout:     c.Layout,
+		Samples:    map[cesm.Component][]perf.Sample{},
+	}
+
+	allocs := make(map[int]cesm.Allocation, len(c.NodeCounts))
+	for _, total := range c.NodeCounts {
+		if _, ok := allocs[total]; !ok {
+			allocs[total] = alloc(c.Resolution, c.Layout, total)
+		}
+	}
+
+	for _, total := range c.NodeCounts {
+		a := allocs[total]
+		for rep := 0; rep < repeats; rep++ {
+			if ck != nil {
+				if e, ok := ck.lookup(total, rep); ok {
+					replayEntry(data, e)
+					report.Resumed++
+					continue
+				}
+			}
+			tm, dropped, err := c.gatherOne(ctx, total, rep, a, retry, report)
+			if err != nil {
+				return nil, nil, err
+			}
+			if dropped {
+				continue
+			}
+			recordRun(data, total, a, tm)
+			report.Completed++
+			if ck != nil {
+				if err := ck.append(entryOf(total, rep, a, tm)); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+
+	if c.OutlierK > 0 {
+		report.Rejected = data.RejectOutliers(c.OutlierK)
+	}
+	for _, comp := range cesm.OptimizedComponents {
+		distinct := distinctNodeCounts(data.Samples[comp])
+		// A campaign deliberately planned with fewer counts (e.g. a
+		// 2-point smoke run) is not failed retroactively; the floor is
+		// what the plan could have delivered, capped at the paper's 4.
+		need := MinDistinctCounts
+		if planned := plannedDistinct(allocs, comp); planned < need {
+			need = planned
+		}
+		if distinct < need {
+			return nil, report, &InsufficientSamplesError{Component: comp, Distinct: distinct, Need: need}
+		}
+	}
+	for _, comp := range cesm.OptimizedComponents {
+		s := data.Samples[comp]
+		sort.Slice(s, func(i, j int) bool { return s[i].Nodes < s[j].Nodes })
+	}
+	return data, report, nil
+}
+
+// gatherOne runs one (total, rep) benchmark with retries. It returns the
+// timing, or dropped=true when the run exhausted its attempts, or an
+// error only for non-recoverable conditions.
+func (c Campaign) gatherOne(ctx context.Context, total, rep int, a cesm.Allocation, retry RetryPolicy, report *FailureReport) (*cesm.Timing, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
+		seed := AttemptSeed(c.Seed, rep, attempt)
+		cfg := cesm.Config{
+			Resolution: c.Resolution,
+			Layout:     c.Layout,
+			TotalNodes: total,
+			Alloc:      a,
+			Seed:       seed,
+			Faults:     c.Faults,
+		}
+		actx := ctx
+		cancel := func() {}
+		if retry.RunTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, retry.RunTimeout)
+		}
+		tm, err := c.runOnce(actx, cfg)
+		cancel()
+		report.Attempts++
+		if err == nil {
+			return tm, false, nil
+		}
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		kind, recoverable := classifyRunError(err)
+		if !recoverable {
+			return nil, false, fmt.Errorf("bench: run at %d nodes: %w", total, err)
+		}
+		lastErr = err
+		report.Faults = append(report.Faults, FaultEvent{
+			TotalNodes: total, Rep: rep, Attempt: attempt, Seed: seed,
+			Kind: kind, Err: err.Error(),
+		})
+		if attempt+1 >= retry.MaxAttempts {
+			break
+		}
+		report.Retries++
+		if err := sleepBackoff(ctx, retry, c.Seed, total, rep, attempt); err != nil {
+			return nil, false, err
+		}
+	}
+	report.Dropped = append(report.Dropped, DroppedRun{
+		TotalNodes: total, Rep: rep, Attempts: retry.MaxAttempts, LastErr: lastErr.Error(),
+	})
+	return nil, true, nil
+}
+
+// runOnce executes a single attempt. Under a fault plan the run
+// round-trips through the CESM timing-log text artifact — the same
+// surface a real deployment reads — so injected log corruption shows up
+// exactly where it would in production.
+func (c Campaign) runOnce(ctx context.Context, cfg cesm.Config) (*cesm.Timing, error) {
+	if c.Faults == nil {
+		return cesm.RunContext(ctx, cfg)
+	}
+	var buf bytes.Buffer
+	if err := cesm.RunToLogContext(ctx, &buf, cfg); err != nil {
+		return nil, err
+	}
+	prof, err := cesm.ParseTimingLog(strings.NewReader(buf.String()))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorruptLog, err)
+	}
+	for _, comp := range cesm.OptimizedComponents {
+		v := prof.Timing.Comp[comp]
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: %v time %v", errCorruptLog, comp, v)
+		}
+	}
+	tm := prof.Timing
+	return &tm, nil
+}
+
+// classifyRunError maps an attempt error to a report kind and whether a
+// retry could help. Injected faults, timeouts and corrupted logs are
+// recoverable; configuration errors are not.
+func classifyRunError(err error) (kind string, recoverable bool) {
+	var fe *cesm.FaultError
+	if errors.As(err, &fe) {
+		return fe.Kind.String(), true
+	}
+	if errors.Is(err, errCorruptLog) {
+		return cesm.FaultCorrupt.String(), true
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout", true
+	}
+	return "error", false
+}
+
+// sleepBackoff waits the exponential backoff delay for a retry, with
+// deterministic jitter in [0.5, 1.5) derived from the run identity, and
+// respects context cancellation.
+func sleepBackoff(ctx context.Context, retry RetryPolicy, seed int64, total, rep, attempt int) error {
+	d := retry.BaseBackoff << uint(attempt)
+	if d > retry.MaxBackoff || d <= 0 {
+		d = retry.MaxBackoff
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(total)<<32 ^ int64(rep)<<16 ^ int64(attempt)))
+	d = time.Duration(float64(d) * (0.5 + rng.Float64()))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// recordRun appends one successful run's samples and cost record.
+func recordRun(data *Data, total int, a cesm.Allocation, tm *cesm.Timing) {
+	for _, comp := range cesm.OptimizedComponents {
+		data.Samples[comp] = append(data.Samples[comp], perf.Sample{
+			Nodes: a.Get(comp),
+			Time:  tm.Comp[comp],
+		})
+	}
+	data.Records = append(data.Records, RunRecord{TotalNodes: total, Total: tm.Total})
+	data.Runs++
+}
+
+// distinctNodeCounts counts distinct Nodes values among samples.
+func distinctNodeCounts(s []perf.Sample) int {
+	seen := map[int]bool{}
+	for _, smp := range s {
+		seen[smp.Nodes] = true
+	}
+	return len(seen)
+}
+
+// plannedDistinct is how many distinct node counts the campaign plan
+// would give a component if every run succeeded.
+func plannedDistinct(allocs map[int]cesm.Allocation, comp cesm.Component) int {
+	seen := map[int]bool{}
+	for _, a := range allocs {
+		seen[a.Get(comp)] = true
+	}
+	return len(seen)
+}
+
+// RejectOutliers drops samples whose relative residual against a
+// preliminary Table II fit deviates from the median residual by more
+// than k scaled-MADs (k ≈ 4 recommended). Components with fewer than 6
+// samples, or whose preliminary fit fails, are left untouched, and
+// rejection never reduces a component below MinDistinctCounts distinct
+// node counts (worst offenders go first). The dropped samples are
+// returned; Records and Runs are unchanged — the machine time was spent
+// regardless.
+func (d *Data) RejectOutliers(k float64) []RejectedSample {
+	if k <= 0 {
+		return nil
+	}
+	var out []RejectedSample
+	for _, comp := range cesm.OptimizedComponents {
+		s := d.Samples[comp]
+		if len(s) < 6 {
+			continue
+		}
+		fit, err := perf.Fit(s, perf.FitOptions{})
+		if err != nil {
+			continue
+		}
+		resid := make([]float64, len(s))
+		for i, smp := range s {
+			pred := fit.Model.Eval(float64(smp.Nodes))
+			if pred <= 0 {
+				pred = math.SmallestNonzeroFloat64
+			}
+			resid[i] = (smp.Time - pred) / pred
+		}
+		med := median(resid)
+		dev := make([]float64, len(resid))
+		for i, r := range resid {
+			dev[i] = math.Abs(r - med)
+		}
+		// 1.4826 scales MAD to the normal σ; the floor keeps a
+		// too-perfect preliminary fit from flagging ordinary noise.
+		scale := 1.4826 * median(dev)
+		if scale < 0.002 {
+			scale = 0.002
+		}
+		type cand struct {
+			idx int
+			dev float64
+		}
+		var cands []cand
+		for i := range s {
+			if dev[i] > k*scale {
+				cands = append(cands, cand{i, dev[i]})
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].dev > cands[j].dev })
+		floor := distinctNodeCounts(s)
+		if floor > MinDistinctCounts {
+			floor = MinDistinctCounts
+		}
+		drop := map[int]bool{}
+		kept := append([]perf.Sample(nil), s...)
+		for _, cd := range cands {
+			trial := kept[:0:0]
+			for i, smp := range s {
+				if !drop[i] && i != cd.idx {
+					trial = append(trial, smp)
+				}
+			}
+			if distinctNodeCounts(trial) < floor {
+				continue
+			}
+			drop[cd.idx] = true
+			kept = trial
+			out = append(out, RejectedSample{
+				Component: comp.String(),
+				Nodes:     s[cd.idx].Nodes,
+				Time:      s[cd.idx].Time,
+				Residual:  resid[cd.idx],
+			})
+		}
+		if len(drop) > 0 {
+			d.Samples[comp] = kept
+		}
+	}
+	return out
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return 0.5 * (s[n/2-1] + s[n/2])
+}

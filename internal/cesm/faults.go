@@ -1,0 +1,268 @@
+package cesm
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// This file implements deterministic fault injection for the simulated
+// machine. The paper's gather step ran on a real system (Intrepid BG/P)
+// where short benchmark jobs crash, hang in the queue, and emit noisy or
+// corrupted timing files; a load-balancing pipeline that aborts on the
+// first bad run would never have produced Table III. A FaultPlan makes
+// those failure modes reproducible: every (plan seed, run seed, node
+// count) triple rolls the same fault on every replay, so chaos tests can
+// predict exactly which runs misbehave and assert that the resilient
+// gather layer (internal/bench) accounted for each one.
+
+// FaultKind classifies an injected fault.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultNone means the run proceeds normally.
+	FaultNone FaultKind = iota
+	// FaultCrash aborts the run with an error, like a job killed by the
+	// scheduler or an MPI abort.
+	FaultCrash
+	// FaultHang blocks the run until its context is cancelled, like a job
+	// stuck on a dead node. Without a cancellable context the hang
+	// degenerates to an immediate error.
+	FaultHang
+	// FaultOutlier completes the run but multiplies one component's time
+	// by a heavy-tailed factor, like a run sharing the machine with an
+	// I/O storm.
+	FaultOutlier
+	// FaultCorrupt completes the run but mangles a field of its timing
+	// log, like a Fortran formatted-output overflow ("********").
+	FaultCorrupt
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultCrash:
+		return "crash"
+	case FaultHang:
+		return "hang"
+	case FaultOutlier:
+		return "outlier"
+	case FaultCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the sentinel wrapped by every injected run failure, so
+// callers can distinguish chaos from genuine configuration errors with
+// errors.Is.
+var ErrInjected = errors.New("cesm: injected fault")
+
+// FaultError is the error returned for an injected crash or hang.
+type FaultError struct {
+	Kind  FaultKind
+	Seed  int64
+	Nodes int
+	Err   error // underlying cause (e.g. the context error for a hang)
+}
+
+func (e *FaultError) Error() string {
+	msg := fmt.Sprintf("cesm: injected %v (seed %d, %d nodes)", e.Kind, e.Seed, e.Nodes)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap reports ErrInjected (and the underlying cause, if any).
+func (e *FaultError) Unwrap() error {
+	if e.Err != nil {
+		return e.Err
+	}
+	return ErrInjected
+}
+
+// Is lets errors.Is(err, ErrInjected) match regardless of the cause chain.
+func (e *FaultError) Is(target error) bool { return target == ErrInjected }
+
+// FaultPlan is a seed-driven fault-injection plan. Probabilities are per
+// run and partition a single uniform draw, so each run suffers at most one
+// fault and the expected fault rate is exactly the sum of the
+// probabilities. The zero value injects nothing.
+type FaultPlan struct {
+	// Seed decorrelates the plan from the machine-noise seed.
+	Seed int64
+	// CrashProb is the probability a run aborts with an error.
+	CrashProb float64
+	// HangProb is the probability a run blocks until its context expires.
+	HangProb float64
+	// OutlierProb is the probability one component's time is inflated by
+	// a heavy-tailed factor.
+	OutlierProb float64
+	// OutlierScale is the minimum inflation factor of an outlier
+	// (default 5); the tail above it is Pareto-distributed.
+	OutlierScale float64
+	// CorruptProb is the probability the run's timing log has a mangled
+	// field (the run itself succeeds; only the text artifact is damaged).
+	CorruptProb float64
+}
+
+// Fault is one rolled outcome of a plan.
+type Fault struct {
+	Kind FaultKind
+	// Component is the target of an outlier or corruption.
+	Component Component
+	// Factor is the outlier's time multiplier.
+	Factor float64
+}
+
+// Validate checks the plan's probabilities.
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, q := range []float64{p.CrashProb, p.HangProb, p.OutlierProb, p.CorruptProb} {
+		if q < 0 || q > 1 {
+			return fmt.Errorf("cesm: fault probability %g out of [0,1]", q)
+		}
+	}
+	if s := p.CrashProb + p.HangProb + p.OutlierProb + p.CorruptProb; s > 1 {
+		return fmt.Errorf("cesm: fault probabilities sum to %g > 1", s)
+	}
+	if p.OutlierScale < 0 {
+		return fmt.Errorf("cesm: negative OutlierScale %g", p.OutlierScale)
+	}
+	return nil
+}
+
+// Roll returns the fault injected into the run identified by (seed,
+// totalNodes). It is deterministic: replays and chaos-test verifiers see
+// the same outcome.
+func (p *FaultPlan) Roll(seed int64, totalNodes int) Fault {
+	if p == nil {
+		return Fault{Kind: FaultNone}
+	}
+	u := hashFrac(p.Seed, seed, int64(totalNodes), 101)
+	switch {
+	case u < p.CrashProb:
+		return Fault{Kind: FaultCrash}
+	case u < p.CrashProb+p.HangProb:
+		return Fault{Kind: FaultHang}
+	case u < p.CrashProb+p.HangProb+p.OutlierProb:
+		comp := OptimizedComponents[int(hashFrac(p.Seed, seed, int64(totalNodes), 102)*float64(len(OptimizedComponents)))]
+		scale := p.OutlierScale
+		if scale == 0 {
+			scale = 5
+		}
+		// Pareto(α=2) tail above the base scale: median ≈ 1.4·scale,
+		// occasional much larger spikes — the shape MAD rejection must
+		// survive.
+		v := hashFrac(p.Seed, seed, int64(totalNodes), 103)
+		if v > 0.999 {
+			v = 0.999
+		}
+		factor := scale / math.Sqrt(1-v)
+		return Fault{Kind: FaultOutlier, Component: comp, Factor: factor}
+	case u < p.CrashProb+p.HangProb+p.OutlierProb+p.CorruptProb:
+		comp := OptimizedComponents[int(hashFrac(p.Seed, seed, int64(totalNodes), 104)*float64(len(OptimizedComponents)))]
+		return Fault{Kind: FaultCorrupt, Component: comp}
+	default:
+		return Fault{Kind: FaultNone}
+	}
+}
+
+// RunContext executes the simulated CESM configuration under a context.
+// Injected hangs block until ctx is done (an uncancellable context turns
+// them into immediate errors); injected crashes return a *FaultError
+// wrapping ErrInjected; injected outliers inflate one component's time.
+// With no FaultPlan this is identical to Run.
+func RunContext(ctx context.Context, cfg Config) (*Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	f := cfg.Faults.Roll(cfg.Seed, cfg.TotalNodes)
+	switch f.Kind {
+	case FaultCrash:
+		return nil, &FaultError{Kind: FaultCrash, Seed: cfg.Seed, Nodes: cfg.TotalNodes, Err: ErrInjected}
+	case FaultHang:
+		if ctx.Done() == nil {
+			return nil, &FaultError{Kind: FaultHang, Seed: cfg.Seed, Nodes: cfg.TotalNodes, Err: ErrInjected}
+		}
+		<-ctx.Done()
+		return nil, &FaultError{Kind: FaultHang, Seed: cfg.Seed, Nodes: cfg.TotalNodes, Err: ctx.Err()}
+	}
+	tm, err := run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind == FaultOutlier {
+		tm.Comp[f.Component] *= f.Factor
+		tm.Total = ComposeTotal(cfg.Layout, tm.Comp)
+	}
+	return tm, nil
+}
+
+// corruptMark is what the corrupted seconds field reads as — the classic
+// Fortran formatted-output overflow. ParseTimingLog rejects it, so a
+// corrupted log surfaces as a parse error rather than a silent bad sample.
+const corruptMark = "********"
+
+// RunToLogContext executes a configuration and writes its timing log,
+// applying any injected log corruption from cfg.Faults. A gather layer
+// that round-trips runs through this text artifact (as a real deployment
+// reading CESM output files would) sees corruption as unparseable logs.
+func RunToLogContext(ctx context.Context, w io.Writer, cfg Config) error {
+	tm, err := RunContext(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	p := &TimingProfile{
+		Resolution: cfg.Resolution,
+		Layout:     cfg.Layout,
+		TotalNodes: cfg.TotalNodes,
+		Days:       cfg.Days,
+		Alloc:      cfg.Alloc,
+		Timing:     *tm,
+	}
+	f := cfg.Faults.Roll(cfg.Seed, cfg.TotalNodes)
+	if f.Kind != FaultCorrupt {
+		return WriteTimingLog(w, p)
+	}
+	var buf strings.Builder
+	if err := WriteTimingLog(&buf, p); err != nil {
+		return err
+	}
+	return corruptLogField(w, buf.String(), f.Component)
+}
+
+// corruptLogField rewrites the log with the chosen component's seconds
+// field replaced by the overflow mark.
+func corruptLogField(w io.Writer, log string, comp Component) error {
+	tag := strings.ToUpper(comp.String())
+	bw := bufio.NewWriter(w)
+	sc := bufio.NewScanner(strings.NewReader(log))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, tag+" Run Time:") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 {
+				line = strings.Replace(line, fields[3], corruptMark, 1)
+			}
+		}
+		fmt.Fprintln(bw, line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,192 @@
+package cesm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func chaosConfig(seed int64) Config {
+	return Config{
+		Resolution: Res1Deg,
+		Layout:     Layout1,
+		TotalNodes: 128,
+		Alloc:      Allocation{Atm: 104, Ocn: 24, Ice: 80, Lnd: 24},
+		Seed:       seed,
+	}
+}
+
+func TestFaultPlanRollDeterministic(t *testing.T) {
+	p := &FaultPlan{Seed: 9, CrashProb: 0.2, HangProb: 0.1, OutlierProb: 0.2, CorruptProb: 0.1}
+	for seed := int64(0); seed < 50; seed++ {
+		a := p.Roll(seed, 128)
+		b := p.Roll(seed, 128)
+		if a != b {
+			t.Fatalf("Roll not deterministic at seed %d: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+func TestFaultPlanRates(t *testing.T) {
+	p := &FaultPlan{Seed: 3, CrashProb: 0.15, HangProb: 0.05, OutlierProb: 0.1, CorruptProb: 0.05}
+	counts := map[FaultKind]int{}
+	const n = 5000
+	for seed := int64(0); seed < n; seed++ {
+		counts[p.Roll(seed, 256).Kind]++
+	}
+	check := func(kind FaultKind, want float64) {
+		got := float64(counts[kind]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%v rate = %.3f, want ≈ %.3f", kind, got, want)
+		}
+	}
+	check(FaultCrash, 0.15)
+	check(FaultHang, 0.05)
+	check(FaultOutlier, 0.10)
+	check(FaultCorrupt, 0.05)
+	check(FaultNone, 0.65)
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	if err := (&FaultPlan{CrashProb: 0.6, HangProb: 0.6}).Validate(); err == nil {
+		t.Error("probabilities summing past 1 accepted")
+	}
+	if err := (&FaultPlan{CrashProb: -0.1}).Validate(); err == nil {
+		t.Error("negative probability accepted")
+	}
+	var nilPlan *FaultPlan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan: %v", err)
+	}
+}
+
+// findSeed locates a run seed whose roll has the wanted kind.
+func findSeed(t *testing.T, p *FaultPlan, nodes int, kind FaultKind) int64 {
+	t.Helper()
+	for seed := int64(0); seed < 10000; seed++ {
+		if p.Roll(seed, nodes).Kind == kind {
+			return seed
+		}
+	}
+	t.Fatalf("no seed rolls %v", kind)
+	return 0
+}
+
+func TestInjectedCrash(t *testing.T) {
+	p := &FaultPlan{Seed: 1, CrashProb: 0.3}
+	cfg := chaosConfig(findSeed(t, p, 128, FaultCrash))
+	cfg.Faults = p
+	_, err := Run(cfg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash error = %v, want ErrInjected", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != FaultCrash {
+		t.Fatalf("error %v is not a crash FaultError", err)
+	}
+}
+
+func TestInjectedHangBlocksUntilDeadline(t *testing.T) {
+	p := &FaultPlan{Seed: 1, HangProb: 0.3}
+	cfg := chaosConfig(findSeed(t, p, 128, FaultHang))
+	cfg.Faults = p
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("hang error = %v, want ErrInjected", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang error = %v, want to wrap DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("hang returned after %v, before the deadline", elapsed)
+	}
+
+	// Without a cancellable context the hang must not block forever.
+	if _, err := Run(cfg); !errors.Is(err, ErrInjected) {
+		t.Fatalf("context-free hang error = %v", err)
+	}
+}
+
+func TestInjectedOutlierInflatesOneComponent(t *testing.T) {
+	p := &FaultPlan{Seed: 1, OutlierProb: 0.3, OutlierScale: 5}
+	seed := findSeed(t, p, 128, FaultOutlier)
+	f := p.Roll(seed, 128)
+	if f.Factor < 5 {
+		t.Fatalf("outlier factor %g below scale", f.Factor)
+	}
+
+	clean := chaosConfig(seed)
+	cleanTm, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := clean
+	faulty.Faults = p
+	faultyTm, err := Run(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range OptimizedComponents {
+		want := cleanTm.Comp[c]
+		if c == f.Component {
+			want *= f.Factor
+		}
+		if math.Abs(faultyTm.Comp[c]-want) > 1e-9*want {
+			t.Errorf("%v time = %g, want %g", c, faultyTm.Comp[c], want)
+		}
+	}
+	if faultyTm.Total != ComposeTotal(Layout1, faultyTm.Comp) {
+		t.Error("outlier total not recomposed")
+	}
+}
+
+func TestInjectedCorruptLogFailsParse(t *testing.T) {
+	p := &FaultPlan{Seed: 1, CorruptProb: 0.3}
+	cfg := chaosConfig(findSeed(t, p, 128, FaultCorrupt))
+	cfg.Faults = p
+
+	var buf strings.Builder
+	if err := RunToLog(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), corruptMark) {
+		t.Fatalf("corrupted log lacks overflow mark:\n%s", buf.String())
+	}
+	if _, err := ParseTimingLog(strings.NewReader(buf.String())); err == nil {
+		t.Fatal("corrupted log parsed successfully")
+	}
+
+	// The same run without the plan must round-trip cleanly.
+	cfg.Faults = nil
+	buf.Reset()
+	if err := RunToLog(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTimingLog(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("clean log failed to parse: %v", err)
+	}
+}
+
+func TestRunContextNilPlanMatchesRun(t *testing.T) {
+	cfg := chaosConfig(7)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range OptimizedComponents {
+		if a.Comp[c] != b.Comp[c] {
+			t.Fatalf("%v differs: %g vs %g", c, a.Comp[c], b.Comp[c])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package cesm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -69,6 +70,10 @@ type Config struct {
 	// Deterministic disables run-to-run noise entirely (useful for tests
 	// and for drawing smooth truth curves).
 	Deterministic bool
+	// Faults, if non-nil, injects deterministic failures (crashes, hangs,
+	// outlier timings, corrupted timing logs) keyed on (Faults.Seed, Seed,
+	// TotalNodes). Nil injects nothing. See FaultPlan.
+	Faults *FaultPlan
 }
 
 // Timing is the outcome of a run: per-component times, the excluded
@@ -134,7 +139,19 @@ func ValidateConfig(cfg Config) error {
 // Component timers include intra-component communication and internal load
 // imbalance, but not inter-component coupling (§III-C) — exactly the values
 // the paper fits against.
+//
+// With cfg.Faults set, injected crashes return a *FaultError and injected
+// hangs fail immediately (there is no context to wait on); use RunContext
+// to let hangs block until a deadline, as a real stuck job would.
 func Run(cfg Config) (*Timing, error) {
+	if cfg.Faults != nil {
+		return RunContext(context.Background(), cfg)
+	}
+	return run(cfg)
+}
+
+// run is the fault-free simulator core.
+func run(cfg Config) (*Timing, error) {
 	if err := ValidateConfig(cfg); err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package cesm
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -53,20 +54,10 @@ func WriteTimingLog(w io.Writer, p *TimingProfile) error {
 	return bw.Flush()
 }
 
-// RunToLog executes a configuration and writes its timing log.
+// RunToLog executes a configuration and writes its timing log. With
+// cfg.Faults set, injected log corruption applies (see RunToLogContext).
 func RunToLog(w io.Writer, cfg Config) error {
-	tm, err := Run(cfg)
-	if err != nil {
-		return err
-	}
-	return WriteTimingLog(w, &TimingProfile{
-		Resolution: cfg.Resolution,
-		Layout:     cfg.Layout,
-		TotalNodes: cfg.TotalNodes,
-		Days:       cfg.Days,
-		Alloc:      cfg.Alloc,
-		Timing:     *tm,
-	})
+	return RunToLogContext(context.Background(), w, cfg)
 }
 
 // ParseTimingLog reads a profile previously written by WriteTimingLog (or

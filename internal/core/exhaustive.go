@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hslb/internal/cesm"
+)
+
+// Exhaustive search is the last rung of the pipeline's solve-step
+// degradation ladder: when both branch-and-bound solvers fail, small
+// instances are solved by direct enumeration over the discrete allowed
+// sets. It is exact for MinMax but costs O(|O|·|A|·N) on layout 1, so it
+// is gated on instance size rather than offered as a first-class solver.
+
+// maxExhaustiveCandidates bounds the enumeration size.
+const maxExhaustiveCandidates = 50_000_000
+
+// ErrExhaustiveTooLarge means the instance exceeds the enumeration gate.
+var ErrExhaustiveTooLarge = errors.New("core: instance too large for exhaustive search")
+
+// ErrExhaustiveObjective means the objective is not MinMax.
+var ErrExhaustiveObjective = errors.New("core: exhaustive search supports only the min-max objective")
+
+// candidateCounts enumerates the allowed node counts for one component,
+// mirroring the discrete structure BuildModel encodes (Table I lines 5-6,
+// 29-31): hard-coded sets where constrained, decomposition multiples at
+// 1/8°, and the full 1..cap range otherwise.
+func candidateCounts(s Spec, c cesm.Component, max int) []int {
+	switch c {
+	case cesm.OCN:
+		if s.ConstrainOcean {
+			return intSet(cesm.OceanSet(s.Resolution), max)
+		}
+		if s.Resolution == cesm.Res8thDeg {
+			return multiplesUpTo(cesm.OceanNodeMultiple, max)
+		}
+	case cesm.ATM:
+		if s.Resolution == cesm.Res1Deg {
+			if s.ConstrainAtm {
+				return intSet(cesm.AtmSet(s.Resolution, max), max)
+			}
+		} else {
+			return multiplesUpTo(cesm.AtmNodeMultiple, max)
+		}
+	}
+	return rangeUpTo(max)
+}
+
+func intSet(set []int, max int) []int {
+	out := make([]int, 0, len(set))
+	for _, v := range set {
+		if v >= 1 && v <= max {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func multiplesUpTo(mult, max int) []int {
+	if mult <= 1 {
+		return rangeUpTo(max)
+	}
+	out := make([]int, 0, max/mult)
+	for v := mult; v <= max; v += mult {
+		out = append(out, v)
+	}
+	return out
+}
+
+func rangeUpTo(max int) []int {
+	out := make([]int, 0, max)
+	for v := 1; v <= max; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+// argminTime returns the candidate count minimizing the component's fitted
+// time. Needed because fitted curves with B > 0 are U-shaped: "use the
+// largest count" is not always right.
+func argminTime(s Spec, c cesm.Component, cands []int) (int, float64) {
+	best, bestT := 0, math.Inf(1)
+	for _, n := range cands {
+		if t := s.Perf[c].Eval(float64(n)); t < bestT {
+			best, bestT = n, t
+		}
+	}
+	return best, bestT
+}
+
+// ExhaustiveSearch solves the MinMax allocation problem by enumerating the
+// discrete candidate sets directly. Exact, derivative-free, and immune to
+// solver numerics — but only viable on small instances (the candidate
+// count is gated at maxExhaustiveCandidates).
+func ExhaustiveSearch(s Spec) (*Decision, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Objective != MinMax {
+		return nil, ErrExhaustiveObjective
+	}
+	N := s.TotalNodes
+	capAtm := minInt(N, cesm.AtmMaxNodes(s.Resolution))
+	capOcn := minInt(N, cesm.OceanMaxNodes(s.Resolution))
+	ocnC := candidateCounts(s, cesm.OCN, capOcn)
+	atmC := candidateCounts(s, cesm.ATM, capAtm)
+	if len(ocnC) == 0 || len(atmC) == 0 {
+		return nil, fmt.Errorf("core: no feasible candidate counts for exhaustive search at N=%d", N)
+	}
+
+	to := s.Perf[cesm.OCN]
+	ta := s.Perf[cesm.ATM]
+	ti := s.Perf[cesm.ICE]
+	tl := s.Perf[cesm.LND]
+
+	best := math.Inf(1)
+	var bestAlloc cesm.Allocation
+	found := false
+
+	switch s.Layout {
+	case cesm.Layout1:
+		// T = max(max(t_ice, t_lnd) + t_atm, t_ocn); atm+ocn ≤ N and
+		// ice+lnd share the atmosphere's nodes. The curves are evaluated
+		// with ice+lnd = atm exactly: with one node freed the remaining
+		// component times only go up, so equality is never worse.
+		if cost := len(ocnC) * len(atmC) * N; cost > maxExhaustiveCandidates {
+			return nil, fmt.Errorf("%w: ~%d layout-1 candidates", ErrExhaustiveTooLarge, cost)
+		}
+		for _, no := range ocnC {
+			toV := to.Eval(float64(no))
+			for _, na := range atmC {
+				if na+no > N || na < 2 {
+					continue
+				}
+				taV := ta.Eval(float64(na))
+				for nl := 1; nl < na; nl++ {
+					ni := na - nl
+					tiV := ti.Eval(float64(ni))
+					tlV := tl.Eval(float64(nl))
+					if s.SyncTol > 0 && math.Abs(tiV-tlV) > s.SyncTol {
+						continue
+					}
+					total := math.Max(math.Max(tiV, tlV)+taV, toV)
+					if total < best {
+						best = total
+						bestAlloc = cesm.Allocation{Atm: na, Ocn: no, Ice: ni, Lnd: nl}
+						found = true
+					}
+				}
+			}
+		}
+	case cesm.Layout2:
+		// Each of atm/ice/lnd shares the machine with the ocean only, so
+		// for a fixed ocean count each picks its own best count in
+		// 1..N−ocn independently.
+		if cost := len(ocnC) * (len(atmC) + 2*N); cost > maxExhaustiveCandidates {
+			return nil, fmt.Errorf("%w: ~%d layout-2 candidates", ErrExhaustiveTooLarge, cost)
+		}
+		for _, no := range ocnC {
+			rem := N - no
+			if rem < 1 {
+				continue
+			}
+			toV := to.Eval(float64(no))
+			na, taV := argminTime(s, cesm.ATM, intSet(atmC, rem))
+			ni, tiV := argminTime(s, cesm.ICE, rangeUpTo(rem))
+			nl, tlV := argminTime(s, cesm.LND, rangeUpTo(rem))
+			if na == 0 {
+				continue
+			}
+			total := math.Max(taV+tiV+tlV, toV)
+			if total < best {
+				best = total
+				bestAlloc = cesm.Allocation{Atm: na, Ocn: no, Ice: ni, Lnd: nl}
+				found = true
+			}
+		}
+	case cesm.Layout3:
+		// Fully sequential: every component runs alone, so each minimizes
+		// its own time independently under its cap.
+		na, taV := argminTime(s, cesm.ATM, atmC)
+		no, toV := argminTime(s, cesm.OCN, ocnC)
+		ni, tiV := argminTime(s, cesm.ICE, rangeUpTo(N))
+		nl, tlV := argminTime(s, cesm.LND, rangeUpTo(N))
+		if na != 0 && no != 0 {
+			best = taV + toV + tiV + tlV
+			bestAlloc = cesm.Allocation{Atm: na, Ocn: no, Ice: ni, Lnd: nl}
+			found = true
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown layout %v", s.Layout)
+	}
+
+	if !found {
+		return nil, fmt.Errorf("core: exhaustive search found no feasible allocation at N=%d", N)
+	}
+	d := &Decision{
+		Alloc:         bestAlloc,
+		PredictedComp: map[cesm.Component]float64{},
+	}
+	for _, c := range cesm.OptimizedComponents {
+		d.PredictedComp[c] = s.Perf[c].Eval(float64(bestAlloc.Get(c)))
+	}
+	d.PredictedTime = cesm.ComposeTotal(s.Layout, d.PredictedComp)
+	return d, nil
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"hslb/internal/bench"
 	"hslb/internal/cesm"
@@ -27,6 +29,45 @@ type PipelineOptions struct {
 	// the paper notes gathering "can be avoided altogether if reliable
 	// benchmarks are already available".
 	Data *bench.Data
+	// SolveTimeout bounds each rung of the step-3 degradation ladder
+	// (primary solve, NLP-BB fallback) separately. 0 means no deadline.
+	SolveTimeout time.Duration
+	// FitR2Gate, if > 0, is the fit-quality gate: any component whose
+	// Table II fit has R² below the gate is refitted with the simpler
+	// Amdahl family (a/n + d), and the better of the two fits is used. The
+	// substitution is recorded in Quality.Refits.
+	FitR2Gate float64
+}
+
+// Quality reports how much the pipeline had to degrade to produce its
+// result: gather failures, fit-gate substitutions, and which rung of the
+// solve ladder answered.
+type Quality struct {
+	// Gather is the campaign's failure report (nil when Data was supplied).
+	Gather *bench.FailureReport
+	// FitR2 is the final per-component fit quality.
+	FitR2 map[cesm.Component]float64
+	// Refits maps components whose low-R² paper fit was replaced to the
+	// substitute family name.
+	Refits map[cesm.Component]string
+	// SolvePath names the ladder rung that produced the decision:
+	// "lp/nlp-bb", "nlp-bb", or "exhaustive".
+	SolvePath string
+	// SolveDeadline is true when the decision is a deadline incumbent
+	// rather than a certified optimum.
+	SolveDeadline bool
+	// Notes records degradations in the order they happened.
+	Notes []string
+}
+
+func (q *Quality) note(format string, args ...interface{}) {
+	q.Notes = append(q.Notes, fmt.Sprintf(format, args...))
+}
+
+// Degraded reports whether anything beyond the happy path happened.
+func (q *Quality) Degraded() bool {
+	return len(q.Notes) > 0 || q.SolveDeadline || len(q.Refits) > 0 ||
+		(q.Gather != nil && (len(q.Gather.Faults) > 0 || len(q.Gather.Dropped) > 0))
 }
 
 // PipelineResult carries the artifacts of all four steps.
@@ -35,6 +76,7 @@ type PipelineResult struct {
 	Fits      map[cesm.Component]*perf.FitResult
 	Decision  *Decision
 	Execution *cesm.Timing
+	Quality   *Quality
 }
 
 // RunPipeline executes the four HSLB steps end to end:
@@ -43,41 +85,122 @@ type PipelineResult struct {
 //  3. Solve: the Table I MINLP for the optimal allocation.
 //  4. Execute: a CESM run with the chosen allocation.
 func RunPipeline(po PipelineOptions) (*PipelineResult, error) {
-	out := &PipelineResult{}
+	return RunPipelineContext(context.Background(), po)
+}
+
+// RunPipelineContext is RunPipeline under a context, with fault tolerance
+// at every step: the gather step retries and checkpoints (see
+// bench.Campaign), low-quality fits are regated onto a simpler family, and
+// the solve step walks a degradation ladder — the configured solver, then
+// NLP-based branch-and-bound, then exhaustive enumeration on small
+// instances — so one failing stage downgrades the answer instead of
+// killing the pipeline.
+func RunPipelineContext(ctx context.Context, po PipelineOptions) (*PipelineResult, error) {
+	out := &PipelineResult{Quality: &Quality{
+		FitR2:  map[cesm.Component]float64{},
+		Refits: map[cesm.Component]string{},
+	}}
+	q := out.Quality
 
 	// Step 1: gather.
 	if po.Data != nil {
 		out.Data = po.Data
 	} else {
-		data, err := po.Campaign.Run()
+		data, report, err := po.Campaign.RunContext(ctx)
+		q.Gather = report
 		if err != nil {
 			return nil, fmt.Errorf("core: gather step: %w", err)
 		}
 		out.Data = data
 	}
 
-	// Step 2: fit.
+	// Step 2: fit, with the quality gate.
 	fits, err := out.Data.FitAll(po.Fit)
 	if err != nil {
 		return nil, fmt.Errorf("core: fit step: %w", err)
 	}
+	if po.FitR2Gate > 0 {
+		for _, c := range cesm.OptimizedComponents {
+			f := fits[c]
+			if f.R2 >= po.FitR2Gate {
+				continue
+			}
+			ff, ferr := perf.FitFamily(out.Data.Samples[c], perf.AmdahlFamily, po.Fit.MaxIter)
+			if ferr != nil || ff.R2 <= f.R2 {
+				q.note("fit gate: %v R²=%.4f below gate %.4f and the Amdahl refit was no better", c, f.R2, po.FitR2Gate)
+				continue
+			}
+			// a/n + d maps onto the Table II model with B = C = 0, which
+			// keeps the downstream MINLP convex.
+			fits[c] = &perf.FitResult{
+				Model:     perf.Model{A: ff.Params[0], D: ff.Params[1]},
+				R2:        ff.R2,
+				SSR:       ff.SSR,
+				Converged: true,
+			}
+			q.Refits[c] = ff.Family.Name
+			q.note("fit gate: %v R²=%.4f below gate %.4f, refit with %s family (R²=%.4f)", c, f.R2, po.FitR2Gate, ff.Family.Name, ff.R2)
+		}
+	}
+	for _, c := range cesm.OptimizedComponents {
+		q.FitR2[c] = fits[c].R2
+	}
 	out.Fits = fits
 
-	// Step 3: solve.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Step 3: solve, walking the degradation ladder.
 	spec := po.Spec
 	spec.Perf = bench.Models(fits)
 	solver := po.Solver
 	if solver.Algorithm == 0 && !solver.BranchSOS && solver.MaxNodes == 0 {
 		solver = SolverOptions()
 	}
-	dec, err := SolveAllocation(spec, solver)
+	try := func(o minlp.Options) (*Decision, error) {
+		sctx := ctx
+		if po.SolveTimeout > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(ctx, po.SolveTimeout)
+			defer cancel()
+		}
+		return SolveAllocationContext(sctx, spec, o)
+	}
+
+	dec, err := try(solver)
+	q.SolvePath = solver.Algorithm.String()
+	if err != nil && solver.Algorithm != minlp.NLPBB {
+		q.note("solve: %v failed (%v), falling back to %v", solver.Algorithm, err, minlp.NLPBB)
+		fb := solver
+		fb.Algorithm = minlp.NLPBB
+		dec, err = try(fb)
+		q.SolvePath = minlp.NLPBB.String()
+	}
 	if err != nil {
-		return nil, fmt.Errorf("core: solve step: %w", err)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		exDec, exErr := ExhaustiveSearch(spec)
+		if exErr != nil {
+			return nil, fmt.Errorf("core: solve step: %w (exhaustive fallback: %v)", err, exErr)
+		}
+		q.note("solve: branch-and-bound failed (%v), answered by exhaustive search", err)
+		dec, err = exDec, nil
+		q.SolvePath = "exhaustive"
+	}
+	if dec.Status == minlp.Deadline {
+		q.SolveDeadline = true
+		q.note("solve: deadline hit after %d nodes; decision is the best incumbent, not a certified optimum", dec.Nodes)
 	}
 	out.Decision = dec
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// Step 4: execute.
-	timing, err := cesm.Run(cesm.Config{
+	timing, err := cesm.RunContext(ctx, cesm.Config{
 		Resolution: spec.Resolution,
 		Layout:     spec.Layout,
 		TotalNodes: spec.TotalNodes,

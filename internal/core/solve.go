@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,6 +26,14 @@ func SolverOptions() minlp.Options {
 // SolveAllocation builds and solves the Table I model for the spec (HSLB
 // step 3) and returns the optimal allocation with predicted times.
 func SolveAllocation(s Spec, opt minlp.Options) (*Decision, error) {
+	return SolveAllocationContext(context.Background(), s, opt)
+}
+
+// SolveAllocationContext is SolveAllocation under a context deadline. A
+// solve that times out but carries a feasible incumbent is returned as a
+// Decision with Status minlp.Deadline rather than an error; a timeout with
+// no incumbent at all is an error.
+func SolveAllocationContext(ctx context.Context, s Spec, opt minlp.Options) (*Decision, error) {
 	if s.Objective == MaxMin && opt.Algorithm == minlp.OuterApprox {
 		// The MaxMin constraint set is nonconvex; outer approximation cuts
 		// would be unsound. Fall back to NLP-based branch and bound.
@@ -34,11 +43,13 @@ func SolveAllocation(s Spec, opt minlp.Options) (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := minlp.Solve(m, opt)
+	res, err := minlp.SolveContext(ctx, m, opt)
 	if err != nil {
 		return nil, err
 	}
-	if res.Status != minlp.Optimal {
+	acceptable := res.Status == minlp.Optimal ||
+		(res.Status == minlp.Deadline && res.X != nil)
+	if !acceptable {
 		return nil, fmt.Errorf("core: MINLP solve ended with status %v after %d nodes", res.Status, res.Nodes)
 	}
 	var alloc cesm.Allocation
@@ -48,6 +59,7 @@ func SolveAllocation(s Spec, opt minlp.Options) (*Decision, error) {
 	d := &Decision{
 		Alloc:         alloc,
 		PredictedComp: map[cesm.Component]float64{},
+		Status:        res.Status,
 		Nodes:         res.Nodes,
 		NLPSolves:     res.NLPSolves,
 		Cuts:          res.Cuts,

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hslb/internal/cesm"
+	"hslb/internal/minlp"
 	"hslb/internal/perf"
 )
 
@@ -106,6 +107,11 @@ type Decision struct {
 	Alloc         cesm.Allocation
 	PredictedComp map[cesm.Component]float64
 	PredictedTime float64
+	// Status is the solver's exit status: Optimal for a certified optimum,
+	// Deadline when a solve timeout fired and the allocation is the best
+	// incumbent found (good but uncertified). Exhaustive-search decisions
+	// report Optimal.
+	Status minlp.Status
 	// Solver diagnostics.
 	Nodes     int
 	NLPSolves int

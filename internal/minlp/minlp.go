@@ -21,6 +21,7 @@
 package minlp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -94,6 +95,10 @@ const (
 	Optimal Status = iota
 	Infeasible
 	NodeLimit
+	// Deadline means the context expired (or was cancelled) mid-search. The
+	// result carries the best incumbent found so far, if any — callers that
+	// can live with a good-but-uncertified answer should check Result.X.
+	Deadline
 )
 
 func (s Status) String() string {
@@ -104,6 +109,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case NodeLimit:
 		return "node-limit"
+	case Deadline:
+		return "deadline"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -126,6 +133,18 @@ var ErrNonlinearEquality = errors.New("minlp: nonlinear equality constraints are
 
 // Solve optimizes the convex MINLP.
 func Solve(m *model.Model, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), m, opt)
+}
+
+// SolveContext optimizes the convex MINLP under a context. When the context
+// expires or is cancelled mid-search, the solver stops at the next node (or
+// cut round) boundary and returns Status Deadline together with the best
+// incumbent found so far — it never returns the context error itself, so a
+// timed-out solve still yields a usable (if uncertified) allocation. If no
+// incumbent exists yet, a bounded rescue dive fixes the integer variables
+// from the most recent relaxation point and solves one NLP to manufacture
+// a feasible point before giving up.
+func SolveContext(ctx context.Context, m *model.Model, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -142,15 +161,71 @@ func Solve(m *model.Model, opt Options) (*Result, error) {
 	var res *Result
 	switch opt.Algorithm {
 	case NLPBB:
-		res, err = solveNLPBB(w, opt)
+		res, err = solveNLPBB(ctx, w, opt)
 	default:
-		res, err = solveOA(w, opt)
+		res, err = solveOA(ctx, w, opt)
 	}
 	if err != nil {
 		return nil, err
 	}
 	res.Presolve = ps
 	return w.restore(res), nil
+}
+
+// rescueDive manufactures a feasible incumbent after a deadline fires with
+// none found: integer variables are fixed from the given relaxation point
+// (SOS-1 sets pick their largest selector so the set stays consistent) and a
+// single NLP is solved over the remaining continuous variables. Best-effort:
+// returns ok=false when the dive is infeasible or the NLP stalls.
+func rescueDive(w *work, opt Options, lastX []float64) (x []float64, obj float64, ok bool) {
+	if lastX == nil {
+		return nil, 0, false
+	}
+	m := w.m
+	fixed := m.Clone()
+	inSOS := map[int]bool{}
+	for _, s := range m.SOS {
+		// Snap the target to the largest allowed weight not above its
+		// relaxation value (falling back to the smallest weight), so that
+		// ≤-capacity constraints the relaxation satisfied stay satisfied.
+		best := 0
+		for k, wt := range s.Weights {
+			if wt <= lastX[s.Target]+1e-9 && wt >= s.Weights[best] {
+				best = k
+			}
+		}
+		for k, sel := range s.Selectors {
+			inSOS[sel] = true
+			if k == best {
+				fixed.FixVar(sel, 1)
+			} else {
+				fixed.FixVar(sel, 0)
+			}
+		}
+		inSOS[s.Target] = true
+		fixed.FixVar(s.Target, s.Weights[best])
+	}
+	for _, j := range m.IntegerVars() {
+		if inSOS[j] {
+			continue
+		}
+		// Floor, not round: the relaxation point satisfies every capacity
+		// constraint, and with the positive coefficients of HSLB models
+		// rounding down preserves that while rounding up may not.
+		v := math.Floor(lastX[j] + 1e-9)
+		if lo := m.Vars[j].Lower; v < lo {
+			v = math.Ceil(lo - 1e-9)
+		}
+		if hi := m.Vars[j].Upper; v > hi {
+			v = math.Floor(hi + 1e-9)
+		}
+		fixed.FixVar(j, v)
+	}
+	fres, err := nlp.Solve(fixed, lastX, opt.NLP)
+	if err != nil || fres.Status != nlp.Optimal || fres.FeasErr > opt.FeasTol {
+		return nil, 0, false
+	}
+	return fres.X, dotObj(w.objCoef, fres.X), true
 }
 
 // work is the internal minimization-form model.

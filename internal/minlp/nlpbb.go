@@ -2,6 +2,7 @@ package minlp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
 	"hslb/internal/nlp"
@@ -11,7 +12,7 @@ import (
 // continuous NLP relaxation restricted to the node's bounds; fractional
 // integer variables (or SOS-1 sets) are branched on; NLP objective values
 // give valid lower bounds because the problems are convex.
-func solveNLPBB(w *work, opt Options) (*Result, error) {
+func solveNLPBB(ctx context.Context, w *work, opt Options) (*Result, error) {
 	m := w.m
 	intVars := m.IntegerVars()
 	open := &nodeHeap{rootNode(m)}
@@ -20,8 +21,18 @@ func solveNLPBB(w *work, opt Options) (*Result, error) {
 	incumbent := math.Inf(1)
 	var bestX []float64
 	nodes, nlpSolves := 0, 0
+	var lastX []float64 // most recent relaxation point, for the rescue dive
 
 	for open.Len() > 0 {
+		if ctx.Err() != nil {
+			if bestX == nil {
+				if x, obj, ok := rescueDive(w, opt, lastX); ok {
+					incumbent = obj
+					bestX = snapInts(x, intVars)
+				}
+			}
+			return resultOf(bestX, incumbent, Deadline, nodes, nlpSolves, 0), nil
+		}
 		if nodes >= opt.MaxNodes {
 			return resultOf(bestX, incumbent, NodeLimit, nodes, nlpSolves, 0), nil
 		}
@@ -57,6 +68,7 @@ func solveNLPBB(w *work, opt Options) (*Result, error) {
 			continue
 		}
 		clampToNode(res.X, nd)
+		lastX = res.X
 
 		frac := pickFractional(res.X, intVars, opt.IntTol)
 		if frac < 0 && res.FeasErr <= opt.FeasTol {

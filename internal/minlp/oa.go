@@ -2,6 +2,7 @@ package minlp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
 	"hslb/internal/expr"
@@ -18,13 +19,14 @@ const maxCutRoundsPerNode = 200
 // described in paper §III-E: a single tree of LP relaxations built from
 // outer-approximation cuts, with NLP subproblems solved only when an
 // integer-feasible LP point violates a nonlinear constraint.
-func solveOA(w *work, opt Options) (*Result, error) {
+func solveOA(ctx context.Context, w *work, opt Options) (*Result, error) {
 	m := w.m
 	n := m.NumVars()
 	intVars := m.IntegerVars()
 
 	var cuts []lp.Constraint
 	nlpSolves, cutsAdded, nodes := 0, 0, 0
+	var lastX []float64 // most recent relaxation point, for the rescue dive
 
 	addCutsAt := func(x []float64, onlyViolated bool) int {
 		added := 0
@@ -63,6 +65,7 @@ func solveOA(w *work, opt Options) (*Result, error) {
 	nlpSolves++
 	if rres.Status == nlp.Optimal {
 		addCutsAt(rres.X, false)
+		lastX = rres.X
 	}
 	// A non-optimal root NLP is not trusted as an infeasibility proof (the
 	// augmented-Lagrangian solver can stall); the LP tree below produces
@@ -84,7 +87,20 @@ func solveOA(w *work, opt Options) (*Result, error) {
 		return lp.Solve(p)
 	}
 
+	deadline := func() (*Result, error) {
+		if bestX == nil {
+			if x, obj, ok := rescueDive(w, opt, lastX); ok {
+				incumbent = obj
+				bestX = snapInts(x, intVars)
+			}
+		}
+		return resultOf(bestX, incumbent, Deadline, nodes, nlpSolves, cutsAdded), nil
+	}
+
 	for open.Len() > 0 {
+		if ctx.Err() != nil {
+			return deadline()
+		}
 		if nodes >= opt.MaxNodes {
 			return resultOf(bestX, incumbent, NodeLimit, nodes, nlpSolves, cutsAdded), nil
 		}
@@ -96,6 +112,11 @@ func solveOA(w *work, opt Options) (*Result, error) {
 
 	nodeLoop:
 		for round := 0; round < maxCutRoundsPerNode; round++ {
+			// Cut rounds solve LPs and NLPs; a node can spin here for a
+			// while, so the deadline is honored between rounds too.
+			if ctx.Err() != nil {
+				return deadline()
+			}
 			sol, err := solveNodeLP(nd)
 			if err != nil {
 				return nil, err
@@ -126,6 +147,7 @@ func solveOA(w *work, opt Options) (*Result, error) {
 				break nodeLoop
 			}
 			clampToNode(sol.X, nd)
+			lastX = sol.X
 
 			frac := pickFractional(sol.X, intVars, opt.IntTol)
 			if frac >= 0 {

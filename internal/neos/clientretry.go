@@ -1,0 +1,182 @@
+package neos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client-side resilience: NEOS-style services sit on the far side of a
+// network, so the client retries transport failures and 5xx responses with
+// capped exponential backoff. 4xx responses are never retried — a bad
+// model stays bad no matter how often it is resent.
+
+// Client retry defaults.
+const (
+	DefaultClientAttempts = 3
+	DefaultClientBackoff  = 100 * time.Millisecond
+	DefaultClientMaxWait  = 2 * time.Second
+)
+
+// RetryPolicy configures client-side retry and the Wait polling cadence.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request (default 3).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry, doubling per
+	// attempt (default 100ms). Wait also uses it as the initial poll
+	// interval.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the delay (default 2s).
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultClientAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultClientBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultClientMaxWait
+	}
+	return p
+}
+
+// ServerError is a non-2xx response, carrying the decoded server message
+// instead of discarding the body.
+type ServerError struct {
+	StatusCode int
+	// Message is the server's error text: the "error" field when the body
+	// is JSON, the trimmed plain text otherwise.
+	Message string
+	// Body is the raw (size-limited) response body.
+	Body []byte
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("neos: server returned HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Retryable reports whether resending the request could help: true only
+// for 5xx server-side failures.
+func (e *ServerError) Retryable() bool { return e.StatusCode >= 500 }
+
+// maxErrorBody bounds how much of an error response is read into memory.
+const maxErrorBody = 64 << 10
+
+// readServerError drains and closes the response body and decodes the
+// server's message out of it.
+func readServerError(resp *http.Response) *ServerError {
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	_, _ = io.Copy(io.Discard, resp.Body) // drain past the limit for connection reuse
+	msg := strings.TrimSpace(string(b))
+	var je struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &je) == nil && je.Error != "" {
+		msg = je.Error
+	}
+	if msg == "" {
+		msg = http.StatusText(resp.StatusCode)
+	}
+	return &ServerError{StatusCode: resp.StatusCode, Message: msg, Body: b}
+}
+
+// decodeBody decodes a success response and leaves the connection clean.
+func decodeBody(resp *http.Response, out interface{}) error {
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// doRetry sends a request built by build (a fresh request per attempt, so
+// bodies can be resent), retrying transport errors and retryable server
+// errors under the client's policy. On success the caller owns the
+// response body; on failure the last error is returned, wrapped with the
+// attempt count when retries were exhausted.
+func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	rp := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := backoffSleep(ctx, rp, attempt-1); err != nil {
+				return nil, err
+			}
+		}
+		hreq, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.httpClient().Do(hreq)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err // transport failure: retry
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			serr := readServerError(resp)
+			if !serr.Retryable() {
+				return nil, serr
+			}
+			lastErr = serr
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("neos: giving up after %d attempts: %w", rp.MaxAttempts, lastErr)
+}
+
+// backoffSleep waits the capped exponential delay for retry #attempt,
+// honoring context cancellation.
+func backoffSleep(ctx context.Context, rp RetryPolicy, attempt int) error {
+	d := rp.BaseBackoff << uint(attempt)
+	if d > rp.MaxBackoff || d <= 0 {
+		d = rp.MaxBackoff
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Wait polls a submitted job until it reaches a terminal state (done or
+// failed), backing off between polls from BaseBackoff up to MaxBackoff.
+// The context bounds the total wait.
+func (c *Client) Wait(ctx context.Context, id int64) (*JobResult, error) {
+	rp := c.Retry.withDefaults()
+	delay := rp.BaseBackoff
+	for {
+		jr, err := c.Result(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if jr.Status == JobDone || jr.Status == JobFailed {
+			return jr, nil
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+		delay *= 2
+		if delay > rp.MaxBackoff {
+			delay = rp.MaxBackoff
+		}
+	}
+}

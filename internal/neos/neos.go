@@ -22,6 +22,7 @@ package neos
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -74,17 +75,19 @@ type JobResult struct {
 	Error    string         `json:"error,omitempty"`
 }
 
-// solve parses and optimizes one request.
+// solve parses and optimizes one request with no time budget.
 func solve(req *SolveRequest) *SolveResponse {
 	parsed, err := ampl.Parse(req.Model)
 	if err != nil {
 		return &SolveResponse{Status: "error", Error: err.Error()}
 	}
-	return solveParsed(parsed, req)
+	return solveParsedContext(context.Background(), parsed, req)
 }
 
-// solveParsed optimizes an already-parsed request.
-func solveParsed(parsed *ampl.Result, req *SolveRequest) *SolveResponse {
+// solveParsedContext optimizes an already-parsed request; when ctx carries a
+// deadline the solver stops there and reports status "deadline" with its
+// best incumbent.
+func solveParsedContext(ctx context.Context, parsed *ampl.Result, req *SolveRequest) *SolveResponse {
 	opt := minlp.Options{
 		BranchSOS: req.BranchSOS,
 		MaxNodes:  req.MaxNodes,
@@ -98,7 +101,7 @@ func solveParsed(parsed *ampl.Result, req *SolveRequest) *SolveResponse {
 	default:
 		return &SolveResponse{Status: "error", Error: "unknown algorithm " + req.Algorithm}
 	}
-	res, err := minlp.Solve(parsed.Model, opt)
+	res, err := minlp.SolveContext(ctx, parsed.Model, opt)
 	if err != nil {
 		return &SolveResponse{Status: "error", Error: err.Error()}
 	}
@@ -128,10 +131,13 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// Client talks to a Server over HTTP.
+// Client talks to a Server over HTTP, retrying transport failures and 5xx
+// responses under Retry (see RetryPolicy; 4xx responses are never
+// retried and surface as *ServerError with the server's message).
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	Retry   RetryPolicy
 }
 
 // NewClient returns a client for the given base URL.
@@ -161,23 +167,24 @@ func (c *Client) Submit(ctx context.Context, req *SolveRequest) (int64, error) {
 // Status == JobFailed and a nil error: the HTTP request succeeded, the
 // solve did not.
 func (c *Client) Result(ctx context.Context, id int64) (*JobResult, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		fmt.Sprintf("%s/result?id=%d", c.BaseURL, id), nil)
+	resp, err := c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet,
+			fmt.Sprintf("%s/result?id=%d", c.BaseURL, id), nil)
+	})
 	if err != nil {
+		// The server reports failed jobs with 422 but still ships the
+		// JobResult body; recover it from the captured error body.
+		var se *ServerError
+		if errors.As(err, &se) && se.StatusCode == http.StatusUnprocessableEntity {
+			var out JobResult
+			if jerr := json.Unmarshal(se.Body, &out); jerr == nil && out.Status != "" {
+				return &out, nil
+			}
+		}
 		return nil, err
-	}
-	resp, err := c.httpClient().Do(hreq)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	// The server reports failed jobs with a non-200 status but still ships
-	// the JobResult body.
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
-		return nil, fmt.Errorf("neos: result: HTTP %d", resp.StatusCode)
 	}
 	var out JobResult
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := decodeBody(resp, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -185,20 +192,14 @@ func (c *Client) Result(ctx context.Context, id int64) (*JobResult, error) {
 
 // Metrics fetches the server's instrumentation snapshot.
 func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	resp, err := c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	})
 	if err != nil {
 		return nil, err
-	}
-	resp, err := c.httpClient().Do(hreq)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("neos: metrics: HTTP %d", resp.StatusCode)
 	}
 	var out Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := decodeBody(resp, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -209,21 +210,19 @@ func (c *Client) post(ctx context.Context, path string, body, out interface{}) e
 	if err := json.NewEncoder(&buf).Encode(body); err != nil {
 		return err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.BaseURL+path, strings.NewReader(buf.String()))
+	resp, err := c.doRetry(ctx, func() (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+path, strings.NewReader(buf.String()))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		return hreq, nil
+	})
 	if err != nil {
 		return err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(hreq)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("neos: %s: HTTP %d", path, resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return decodeBody(resp, out)
 }
 
 func (c *Client) httpClient() *http.Client {

@@ -1,6 +1,7 @@
 package neos
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -47,6 +48,13 @@ type Config struct {
 	// JobTTL evicts done/failed jobs this long after completion
 	// (default 1h; <0 disables).
 	JobTTL time.Duration
+	// SolveTimeout bounds the branch-and-bound inside one solver
+	// invocation, sync or async (default 120s; <0 disables). On expiry
+	// the solver stops and reports its best incumbent with status
+	// "deadline" instead of pinning a core indefinitely — pathological
+	// models exist on which the outer-approximation cut loop makes
+	// progress far too slowly to ever finish.
+	SolveTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobTTL == 0 {
 		c.JobTTL = time.Hour
+	}
+	if c.SolveTimeout == 0 {
+		c.SolveTimeout = 120 * time.Second
 	}
 	return c
 }
@@ -188,13 +199,20 @@ func (s *Server) solveCached(req *SolveRequest) *SolveResponse {
 	resp, _, _ := s.flight.Do(key, func() (*SolveResponse, error) {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
+		ctx := context.Background()
+		if s.cfg.SolveTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+			defer cancel()
+		}
 		start := time.Now()
-		resp := solveParsed(parsed, req)
+		resp := solveParsedContext(ctx, parsed, req)
 		s.hist.observe(time.Since(start).Seconds())
 		// Solves are deterministic, so every terminal status (optimal,
 		// infeasible, node-limit) is cacheable; "error" is not, to keep
-		// transient conditions from sticking.
-		if resp.Status != "error" {
+		// transient conditions from sticking, and "deadline" is not,
+		// because it depends on wall-clock budget rather than the model.
+		if resp.Status != "error" && resp.Status != "deadline" {
 			s.cache.Put(key, resp)
 		}
 		return resp, nil
@@ -345,11 +363,11 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one attempt of a claimed job. The solve itself cannot be
-// cancelled mid-flight (the branch-and-bound loop is CPU-bound), so a
-// timeout abandons the attempt — the solver goroutine finishes in the
-// background and at most warms the cache — and the attempt-guarded store
-// transitions keep the abandoned result from clobbering a retry.
+// runJob executes one attempt of a claimed job. JobTimeout does not cancel
+// the solve mid-flight, it abandons the attempt — the solver goroutine
+// keeps running (bounded by SolveTimeout) and at most warms the cache —
+// and the attempt-guarded store transitions keep the abandoned result from
+// clobbering a retry.
 func (s *Server) runJob(job *jobstore.Job) {
 	var req SolveRequest
 	if err := json.Unmarshal(job.Request, &req); err != nil {

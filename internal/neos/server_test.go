@@ -388,29 +388,87 @@ func TestMetricsHistogram(t *testing.T) {
 	}
 }
 
+// pathologicalModel is a trivial-looking two-variable model on which the
+// outer-approximation cut loop crawls: each node burns hundreds of NLP
+// solves on cuts that barely separate the LP point, so an unbounded solve
+// pins a core for hours. The server's SolveTimeout must stop it.
+const pathologicalModel = `var x integer >= 1 <= 50; var y integer >= 1 <= 50;
+minimize obj: 100 / x + 80 / y;
+subject to c: x + y <= 60;
+`
+
+func TestSolveTimeoutBoundsPathologicalModel(t *testing.T) {
+	_, _, c := newServerWith(t, Config{MaxConcurrent: 2, SolveTimeout: 300 * time.Millisecond})
+	ctx := context.Background()
+
+	start := time.Now()
+	out, err := c.Solve(ctx, &SolveRequest{Model: pathologicalModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("solve took %v, deadline did not bound it", elapsed)
+	}
+	if out.Status != "deadline" {
+		t.Fatalf("status = %q, want deadline", out.Status)
+	}
+	if out.Error != "" {
+		t.Fatalf("deadline is a degraded answer, not an error: %q", out.Error)
+	}
+
+	// Deadline results depend on the wall-clock budget, not just the
+	// model, so they must not stick in the cache.
+	if _, err := c.Solve(ctx, &SolveRequest{Model: pathologicalModel}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Count != 2 {
+		t.Fatalf("solver invoked %d times, want 2 (deadline results must not be cached)", m.Solves.Count)
+	}
+	if m.Cache.Size != 0 {
+		t.Fatalf("cache size = %d, deadline result was cached", m.Cache.Size)
+	}
+}
+
 func TestTimedOutJobEventuallyCompletes(t *testing.T) {
-	// This model takes ≥20ms of branch-and-bound (~150 nodes), so an 8ms
-	// per-attempt timeout forces at least one retry; the abandoned
-	// attempt's solver still warms the cache, so a later attempt finishes
-	// in microseconds — inside the timeout. The job must converge to
-	// done, never run unbounded.
+	// The near-tied coefficients make branch-and-bound grind (~250 nodes,
+	// ≥100ms even on a loaded single-CPU box), so an 8ms per-attempt
+	// timeout forces at least one retry. The solve must far exceed the
+	// timeout plus scheduler jitter: with a marginally slow model the
+	// worker's select can wake late with both the timer and the finished
+	// solve ready, record the result on attempt 1, and flake. The
+	// abandoned attempt's solver still warms the cache, so a later attempt
+	// (the exponential backoff allows ~10s of them) finishes in
+	// microseconds — inside the timeout. The job must converge to done,
+	// never run unbounded.
 	const slowModel = `
-param N := 2000;
+param N := 8000;
 var T >= 0 <= 100000;
-var n1 integer >= 1 <= 2000;
-var n2 integer >= 1 <= 2000;
-var n3 integer >= 1 <= 2000;
-var n4 integer >= 1 <= 2000;
-var n5 integer >= 1 <= 2000;
-var n6 integer >= 1 <= 2000;
+var n1 integer >= 1 <= 8000;
+var n2 integer >= 1 <= 8000;
+var n3 integer >= 1 <= 8000;
+var n4 integer >= 1 <= 8000;
+var n5 integer >= 1 <= 8000;
+var n6 integer >= 1 <= 8000;
+var n7 integer >= 1 <= 8000;
+var n8 integer >= 1 <= 8000;
+var n9 integer >= 1 <= 8000;
+var n10 integer >= 1 <= 8000;
 minimize total: T;
-subject to t1: 11000 / n1 + 1 <= T;
-subject to t2: 12000 / n2 + 2 <= T;
-subject to t3: 13000 / n3 + 3 <= T;
-subject to t4: 14000 / n4 + 4 <= T;
-subject to t5: 15000 / n5 + 5 <= T;
-subject to t6: 16000 / n6 + 6 <= T;
-subject to cap: n1 + n2 + n3 + n4 + n5 + n6 <= N;
+subject to t1: 11000.001 / n1 + 0.000001 <= T;
+subject to t2: 11000.002 / n2 + 0.000002 <= T;
+subject to t3: 11000.003 / n3 + 0.000003 <= T;
+subject to t4: 11000.004 / n4 + 0.000004 <= T;
+subject to t5: 11000.005 / n5 + 0.000005 <= T;
+subject to t6: 11000.006 / n6 + 0.000006 <= T;
+subject to t7: 11000.007 / n7 + 0.000007 <= T;
+subject to t8: 11000.008 / n8 + 0.000008 <= T;
+subject to t9: 11000.009 / n9 + 0.000009 <= T;
+subject to t10: 11000.010 / n10 + 0.000010 <= T;
+subject to cap: n1 + n2 + n3 + n4 + n5 + n6 + n7 + n8 + n9 + n10 <= N;
 `
 	_, _, c := newServerWith(t, Config{
 		MaxConcurrent: 2,
