@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race chaos
+.PHONY: verify build test vet race chaos bench
 
 verify: build vet test race
 
@@ -23,9 +23,20 @@ race:
 	$(GO) test -race ./...
 
 # Fault-injection suite: the chaos pipeline acceptance scenario plus the
-# resilient-gather and fault-plan tests. Seeds are fixed inside the tests,
-# so every run injects the identical fault ledger.
+# resilient-gather and fault-plan tests, with the parallel-path variants
+# (worker-pool gather, concurrent NLP-BB) run under the race detector.
+# Seeds are fixed inside the tests, so every run injects the identical
+# fault ledger.
 chaos:
 	$(GO) test -v -run 'TestChaosPipelineAcceptance|TestPipelineSolveDeadlineLadder' ./internal/core/
 	$(GO) test -v -run 'TestResilientRun|TestInsufficientSamples|TestCheckpoint|TestRejectOutliers' ./internal/bench/
 	$(GO) test -v -run 'TestFaultPlan|TestInjected' ./internal/cesm/
+	$(GO) test -v -race -run 'TestChaosPipelineWorkersInvariant' ./internal/core/
+	$(GO) test -v -race -run 'TestParallelGather|TestRunLatency' ./internal/bench/
+	$(GO) test -v -race -run 'TestParallelNLPBB' ./internal/minlp/
+
+# Sequential-vs-parallel timing for the two hot paths (gather campaign,
+# NLP-BB solve ladder); writes BENCH_parallel.json and fails if parallel
+# results are not identical to sequential.
+bench:
+	$(GO) run ./cmd/hslbbench -o BENCH_parallel.json

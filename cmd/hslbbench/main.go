@@ -1,0 +1,164 @@
+// Command hslbbench times the two HSLB hot paths — the benchmark-gathering
+// campaign and the NLP-based branch-and-bound solve — sequentially and with
+// the worker pools enabled, verifies that both settings produce identical
+// results, and writes the measurements to a JSON report.
+//
+// The gather stage simulates the paper's step 1 at 1°: a sampling plan of
+// node counts with repeated runs, each attempt charged a configurable
+// simulated machine wall-clock (-run-latency) so the worker pool has real
+// latency to hide, exactly like a queue of batch jobs on Yellowstone. The
+// solve stage runs the Table I MINLP with NLP-BB across a ladder of node
+// budgets N = 128..2048.
+//
+// Usage:
+//
+//	hslbbench -workers 8 -o BENCH_parallel.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"hslb/internal/bench"
+	"hslb/internal/cesm"
+	"hslb/internal/core"
+	"hslb/internal/minlp"
+	"hslb/internal/perf"
+)
+
+type stageResult struct {
+	Stage             string  `json:"stage"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+}
+
+type report struct {
+	GitSHA     string        `json:"gitsha"`
+	Date       string        `json:"date"`
+	Workers    int           `json:"workers"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Stages     []stageResult `json:"stages"`
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "hslbbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// benchGather times the campaign at the given worker count.
+func benchGather(workers int, latency time.Duration) (*bench.Data, float64) {
+	c := bench.Campaign{
+		Resolution: cesm.Res1Deg,
+		Layout:     cesm.Layout1,
+		NodeCounts: perf.SamplingPlan(128, 2048, 8),
+		Repeats:    2,
+		Seed:       7,
+		Workers:    workers,
+		RunLatency: latency,
+	}
+	start := time.Now()
+	data, err := c.Run()
+	if err != nil {
+		fatalf("gather (workers=%d): %v", workers, err)
+	}
+	return data, time.Since(start).Seconds()
+}
+
+// benchSolve times the NLP-BB solve ladder at the given worker count and
+// returns the chosen allocations for the identity check.
+func benchSolve(workers int, models map[cesm.Component]perf.Model) ([]cesm.Allocation, float64) {
+	opt := minlp.Options{Algorithm: minlp.NLPBB, BranchSOS: true, RelGap: 1e-4, Workers: workers}
+	var allocs []cesm.Allocation
+	start := time.Now()
+	for n := 128; n <= 2048; n *= 2 {
+		spec := core.Spec{
+			Resolution: cesm.Res1Deg, Layout: cesm.Layout1, TotalNodes: n,
+			ConstrainOcean: true, ConstrainAtm: true, Perf: models,
+		}
+		dec, err := core.SolveAllocation(spec, opt)
+		if err != nil {
+			fatalf("solve N=%d (workers=%d): %v", n, workers, err)
+		}
+		allocs = append(allocs, dec.Alloc)
+	}
+	return allocs, time.Since(start).Seconds()
+}
+
+func main() {
+	defWorkers := runtime.GOMAXPROCS(0)
+	if defWorkers < 4 {
+		// Latency hiding in the gather stage needs workers, not cores; on
+		// small machines a pool of 4 still demonstrates the overlap.
+		defWorkers = 4
+	}
+	workers := flag.Int("workers", defWorkers, "parallel worker count for both stages")
+	latency := flag.Duration("run-latency", 25*time.Millisecond, "simulated machine wall-clock per benchmark attempt")
+	out := flag.String("o", "BENCH_parallel.json", "output report path")
+	flag.Parse()
+	if *workers < 2 {
+		fatalf("-workers must be >= 2 to compare against sequential")
+	}
+
+	// Stage 1: gather. Identical Data is part of the contract, so the
+	// timing comparison doubles as a determinism check.
+	seqData, seqGather := benchGather(1, *latency)
+	parData, parGather := benchGather(*workers, *latency)
+	if !reflect.DeepEqual(seqData, parData) {
+		fatalf("parallel gather changed the benchmark data (workers=%d)", *workers)
+	}
+	fmt.Printf("gather: sequential %.3fs, %d workers %.3fs (%.2fx)\n",
+		seqGather, *workers, parGather, seqGather/parGather)
+
+	// Stage 2: solve. Fit the gathered data once, then time the NLP-BB
+	// ladder at both worker counts.
+	fits, err := seqData.FitAll(perf.FitOptions{})
+	if err != nil {
+		fatalf("fit: %v", err)
+	}
+	models := bench.Models(fits)
+	seqAllocs, seqSolve := benchSolve(1, models)
+	parAllocs, parSolve := benchSolve(*workers, models)
+	for i := range seqAllocs {
+		if seqAllocs[i] != parAllocs[i] {
+			fatalf("parallel solve changed the allocation at ladder rung %d: %v vs %v",
+				i, seqAllocs[i], parAllocs[i])
+		}
+	}
+	fmt.Printf("solve:  sequential %.3fs, %d workers %.3fs (%.2fx)\n",
+		seqSolve, *workers, parSolve, seqSolve/parSolve)
+
+	rep := report{
+		GitSHA:     gitSHA(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Workers:    *workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Stages: []stageResult{
+			{Stage: "gather", SequentialSeconds: seqGather, ParallelSeconds: parGather, Speedup: seqGather / parGather},
+			{Stage: "solve", SequentialSeconds: seqSolve, ParallelSeconds: parSolve, Speedup: seqSolve / parSolve},
+		},
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -42,6 +42,7 @@ func main() {
 	cacheSize := flag.Int("cache-size", 256, "solve-cache capacity in entries")
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-attempt timeout for async jobs")
 	solveTimeout := flag.Duration("solve-timeout", 120*time.Second, "wall-clock budget per solver invocation; on expiry the best incumbent is returned with status \"deadline\" (<0 disables)")
+	solveWorkers := flag.Int("solve-workers", 1, "parallel tree-search workers per NLPBB solve (results are identical at any setting)")
 	maxAttempts := flag.Int("max-attempts", 3, "executions per async job before it is marked failed")
 	jobTTL := flag.Duration("job-ttl", time.Hour, "retention of completed jobs")
 	syncWAL := flag.Bool("fsync", false, "fsync the WAL on every job transition")
@@ -57,6 +58,7 @@ func main() {
 		MaxAttempts:   *maxAttempts,
 		JobTTL:        *jobTTL,
 		SolveTimeout:  *solveTimeout,
+		SolveWorkers:  *solveWorkers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"hslb/internal/cesm"
 	"hslb/internal/perf"
@@ -47,6 +48,26 @@ type Campaign struct {
 	// preliminary fit deviates from the median by more than OutlierK
 	// scaled-MAD are dropped (recommended 4; see Data.RejectOutliers).
 	OutlierK float64
+
+	// Workers bounds how many (node count, repeat) runs execute
+	// concurrently. The gather step is embarrassingly parallel — every
+	// run is an independent simulation whose RNG derives from
+	// AttemptSeed(Seed, rep, attempt) and whose injected faults are a
+	// pure function of (plan seed, run seed, total) — so Data and the
+	// FailureReport are bit-identical for any worker count. 0 means
+	// runtime.GOMAXPROCS(0); 1 preserves the strictly sequential
+	// execution order of the historical runner.
+	Workers int
+	// RunLatency, if > 0, is simulated machine wall-clock added to every
+	// run attempt (context-aware, so hangs, timeouts and cancellation
+	// behave as before). The simulator evaluates a 5-day benchmark in
+	// microseconds; on the paper's real machine the same run occupies
+	// minutes of queue-and-run time. Benchmarks of the gather stage set
+	// this so sequential-vs-parallel comparisons measure scheduling, not
+	// the simulator's evaluation speed. It never affects the gathered
+	// Data. Note RunLatency must stay below Retry.RunTimeout when both
+	// are set, or every attempt times out.
+	RunLatency time.Duration
 }
 
 // RunRecord summarizes one benchmark run for cost accounting.

@@ -95,7 +95,11 @@ func openCheckpoint(path string, c Campaign, repeats int) (*checkpoint, error) {
 	for {
 		line, err := br.ReadBytes('\n')
 		if err != nil {
-			// A torn trailing line from a crash mid-write is discarded.
+			// A torn trailing line from a crash mid-write is discarded —
+			// including a torn *header*: a crash while writing the very
+			// first line leaves partial bytes with no newline, which must
+			// recover like any torn record (restart from zero entries),
+			// not read as a foreign campaign.
 			if err == io.EOF {
 				break
 			}
@@ -105,7 +109,13 @@ func openCheckpoint(path string, c Campaign, repeats int) (*checkpoint, error) {
 		if first {
 			first = false
 			var got ckHeader
-			if json.Unmarshal(line, &got) != nil || !sameHeader(got, want) {
+			if json.Unmarshal(line, &got) != nil {
+				// Unparseable first line: the process died mid-header
+				// write (with the newline already buffered out). Same
+				// recovery as a torn record — rewrite from scratch.
+				return ck.restart(want)
+			}
+			if !sameHeader(got, want) {
 				f.Close()
 				return nil, fmt.Errorf("%w: %s", ErrCheckpointMismatch, path)
 			}
@@ -121,12 +131,10 @@ func openCheckpoint(path string, c Campaign, repeats int) (*checkpoint, error) {
 	}
 
 	if first {
-		// Fresh (or empty) file: write the header.
-		if err := ck.writeJSON(want); err != nil {
-			f.Close()
-			return nil, err
-		}
-		return ck, nil
+		// Fresh, empty, or torn-before-the-newline header: (re)write it.
+		// restart truncates first so partial header bytes never precede
+		// the new header in the file.
+		return ck.restart(want)
 	}
 	if err := f.Truncate(validEnd); err != nil {
 		f.Close()
@@ -134,6 +142,27 @@ func openCheckpoint(path string, c Campaign, repeats int) (*checkpoint, error) {
 	}
 	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
 		f.Close()
+		return nil, err
+	}
+	return ck, nil
+}
+
+// restart wipes the file back to nothing but a fresh header — the
+// recovery path for an empty file or one whose header line was torn by a
+// crash mid-write. Any entries read so far are discarded: without a valid
+// header there is no proof they belong to this campaign.
+func (ck *checkpoint) restart(h ckHeader) (*checkpoint, error) {
+	ck.entries = map[ckKey]ckEntry{}
+	if err := ck.f.Truncate(0); err != nil {
+		ck.f.Close()
+		return nil, fmt.Errorf("bench: reset torn checkpoint: %w", err)
+	}
+	if _, err := ck.f.Seek(0, io.SeekStart); err != nil {
+		ck.f.Close()
+		return nil, err
+	}
+	if err := ck.writeJSON(h); err != nil {
+		ck.f.Close()
 		return nil, err
 	}
 	return ck, nil

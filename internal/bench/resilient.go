@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"hslb/internal/cesm"
@@ -141,6 +143,26 @@ func AttemptSeed(base int64, rep, attempt int) int64 {
 	return base + int64(rep)*1000003 + int64(attempt)*500009
 }
 
+// gatherTask is one planned (total, rep) run, in campaign plan order.
+type gatherTask struct {
+	total, rep int
+	a          cesm.Allocation
+	resumed    *ckEntry // set when the checkpoint already has this run
+}
+
+// runOutcome is everything one executed task produced. Workers fill these
+// in task-locally — no shared state — and RunContext merges them in plan
+// order afterwards, which is what makes Data and the FailureReport
+// bit-identical for every worker count.
+type runOutcome struct {
+	tm       *cesm.Timing
+	dropped  *DroppedRun
+	faults   []FaultEvent
+	attempts int
+	retries  int
+	err      error
+}
+
 // RunContext executes the campaign under ctx and returns the gathered
 // samples plus a report of every failure survived along the way.
 //
@@ -149,6 +171,14 @@ func AttemptSeed(base int64, rep, attempt int) int64 {
 // campaign aborts only on context cancellation, configuration errors, or
 // when a component retains fewer than MinDistinctCounts distinct node
 // counts (ErrInsufficientSamples).
+//
+// Runs execute on a pool of Workers goroutines (see Campaign.Workers).
+// Every run is independent — seeds and injected faults are pure functions
+// of the plan — so results are merged back in plan order and the returned
+// Data and FailureReport do not depend on scheduling. Checkpoint appends
+// are serialized through a single writer and stay eager (a run is durable
+// as soon as it completes, not when the campaign ends); entries may land
+// out of plan order in the file, which resume handles by keyed lookup.
 func (c Campaign) RunContext(ctx context.Context) (*Data, *FailureReport, error) {
 	if len(c.NodeCounts) == 0 {
 		return nil, nil, ErrNoCounts
@@ -170,6 +200,13 @@ func (c Campaign) RunContext(ctx context.Context) (*Data, *FailureReport, error)
 		alloc = DefaultAllocation
 	}
 	retry := c.Retry.withDefaults()
+	workers := c.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 
 	var ck *checkpoint
 	if c.Checkpoint != "" {
@@ -195,31 +232,129 @@ func (c Campaign) RunContext(ctx context.Context) (*Data, *FailureReport, error)
 		}
 	}
 
+	var tasks []gatherTask
 	for _, total := range c.NodeCounts {
 		a := allocs[total]
 		for rep := 0; rep < repeats; rep++ {
+			t := gatherTask{total: total, rep: rep, a: a}
 			if ck != nil {
 				if e, ok := ck.lookup(total, rep); ok {
-					replayEntry(data, e)
-					report.Resumed++
-					continue
+					e := e
+					t.resumed = &e
 				}
 			}
-			tm, dropped, err := c.gatherOne(ctx, total, rep, a, retry, report)
-			if err != nil {
-				return nil, nil, err
-			}
-			if dropped {
-				continue
-			}
-			recordRun(data, total, a, tm)
-			report.Completed++
-			if ck != nil {
-				if err := ck.append(entryOf(total, rep, a, tm)); err != nil {
-					return nil, nil, err
-				}
-			}
+			tasks = append(tasks, t)
 		}
+	}
+
+	outcomes := make([]runOutcome, len(tasks))
+
+	// One campaign-internal cancel fans a non-recoverable failure (or a
+	// checkpoint write error) out to every in-flight run, so the pool
+	// drains promptly instead of finishing the whole plan.
+	runCtx, cancelRuns := context.WithCancel(ctx)
+	defer cancelRuns()
+
+	// All checkpoint appends funnel through this one goroutine; the file
+	// handle is never written concurrently.
+	var (
+		ckCh   chan ckEntry
+		ckDone chan error
+	)
+	if ck != nil {
+		ckCh = make(chan ckEntry, workers)
+		ckDone = make(chan error, 1)
+		go func() {
+			var werr error
+			for e := range ckCh {
+				if werr != nil {
+					continue // drain; first error already cancelled the runs
+				}
+				if err := ck.append(e); err != nil {
+					werr = err
+					cancelRuns()
+				}
+			}
+			ckDone <- werr
+		}()
+	}
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				t := tasks[idx]
+				out := c.gatherOne(runCtx, t.total, t.rep, t.a, retry)
+				if out.err != nil {
+					cancelRuns()
+				} else if out.tm != nil && ckCh != nil {
+					ckCh <- entryOf(t.total, t.rep, t.a, out.tm)
+				}
+				outcomes[idx] = out
+			}
+		}()
+	}
+	for idx := range tasks {
+		if tasks[idx].resumed != nil {
+			continue
+		}
+		// Keep feeding even after a cancel: cancelled workers drain the
+		// remaining indices near-instantly (gatherOne returns on ctx.Err),
+		// and an unconditional send cannot deadlock against live workers.
+		idxCh <- idx
+	}
+	close(idxCh)
+	wg.Wait()
+	if ckCh != nil {
+		close(ckCh)
+		if werr := <-ckDone; werr != nil {
+			return nil, nil, werr
+		}
+	}
+
+	// Pick the campaign's error. Tasks aborted by the internal cancel
+	// report context.Canceled while the outer ctx is still live; those are
+	// victims of some other task's real failure, not the story — skip them
+	// and surface the first genuine error in plan order.
+	var runErr error
+	for i := range outcomes {
+		if outcomes[i].err == nil {
+			continue
+		}
+		if ctx.Err() == nil && errors.Is(outcomes[i].err, context.Canceled) {
+			continue
+		}
+		runErr = outcomes[i].err
+		break
+	}
+	if runErr == nil && ctx.Err() != nil {
+		runErr = ctx.Err()
+	}
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+
+	// Merge in plan order: byte-for-byte the sequence the sequential
+	// runner would have produced.
+	for i, t := range tasks {
+		if t.resumed != nil {
+			replayEntry(data, *t.resumed)
+			report.Resumed++
+			continue
+		}
+		out := &outcomes[i]
+		report.Attempts += out.attempts
+		report.Retries += out.retries
+		report.Faults = append(report.Faults, out.faults...)
+		if out.dropped != nil {
+			report.Dropped = append(report.Dropped, *out.dropped)
+			continue
+		}
+		recordRun(data, t.total, t.a, out.tm)
+		report.Completed++
 	}
 
 	if c.OutlierK > 0 {
@@ -245,10 +380,12 @@ func (c Campaign) RunContext(ctx context.Context) (*Data, *FailureReport, error)
 	return data, report, nil
 }
 
-// gatherOne runs one (total, rep) benchmark with retries. It returns the
-// timing, or dropped=true when the run exhausted its attempts, or an
-// error only for non-recoverable conditions.
-func (c Campaign) gatherOne(ctx context.Context, total, rep int, a cesm.Allocation, retry RetryPolicy, report *FailureReport) (*cesm.Timing, bool, error) {
+// gatherOne runs one (total, rep) benchmark with retries. Everything the
+// task produced — timing or drop record, fault events, attempt counts, or
+// a non-recoverable error — comes back in the outcome; nothing shared is
+// touched, so any number of gatherOnes may run concurrently.
+func (c Campaign) gatherOne(ctx context.Context, total, rep int, a cesm.Allocation, retry RetryPolicy) runOutcome {
+	var out runOutcome
 	var lastErr error
 	for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
 		seed := AttemptSeed(c.Seed, rep, attempt)
@@ -267,34 +404,38 @@ func (c Campaign) gatherOne(ctx context.Context, total, rep int, a cesm.Allocati
 		}
 		tm, err := c.runOnce(actx, cfg)
 		cancel()
-		report.Attempts++
+		out.attempts++
 		if err == nil {
-			return tm, false, nil
+			out.tm = tm
+			return out
 		}
 		if ctx.Err() != nil {
-			return nil, false, ctx.Err()
+			out.err = ctx.Err()
+			return out
 		}
 		kind, recoverable := classifyRunError(err)
 		if !recoverable {
-			return nil, false, fmt.Errorf("bench: run at %d nodes: %w", total, err)
+			out.err = fmt.Errorf("bench: run at %d nodes: %w", total, err)
+			return out
 		}
 		lastErr = err
-		report.Faults = append(report.Faults, FaultEvent{
+		out.faults = append(out.faults, FaultEvent{
 			TotalNodes: total, Rep: rep, Attempt: attempt, Seed: seed,
 			Kind: kind, Err: err.Error(),
 		})
 		if attempt+1 >= retry.MaxAttempts {
 			break
 		}
-		report.Retries++
+		out.retries++
 		if err := sleepBackoff(ctx, retry, c.Seed, total, rep, attempt); err != nil {
-			return nil, false, err
+			out.err = err
+			return out
 		}
 	}
-	report.Dropped = append(report.Dropped, DroppedRun{
+	out.dropped = &DroppedRun{
 		TotalNodes: total, Rep: rep, Attempts: retry.MaxAttempts, LastErr: lastErr.Error(),
-	})
-	return nil, true, nil
+	}
+	return out
 }
 
 // runOnce executes a single attempt. Under a fault plan the run
@@ -302,6 +443,15 @@ func (c Campaign) gatherOne(ctx context.Context, total, rep int, a cesm.Allocati
 // surface a real deployment reads — so injected log corruption shows up
 // exactly where it would in production.
 func (c Campaign) runOnce(ctx context.Context, cfg cesm.Config) (*cesm.Timing, error) {
+	if c.RunLatency > 0 {
+		t := time.NewTimer(c.RunLatency)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
 	if c.Faults == nil {
 		return cesm.RunContext(ctx, cfg)
 	}

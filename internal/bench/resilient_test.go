@@ -352,6 +352,64 @@ func TestCheckpointTornLine(t *testing.T) {
 	}
 }
 
+// TestCheckpointTornHeader: a crash while writing the *header* line must
+// recover like any torn record — truncate, rewrite the header, resume
+// with zero entries — not read as a foreign campaign and abort with
+// ErrCheckpointMismatch.
+func TestCheckpointTornHeader(t *testing.T) {
+	cases := map[string]string{
+		// The process died before the newline flushed.
+		"no-newline": `{"version":1,"resolu`,
+		// The newline made it out but the line is still garbage.
+		"with-newline": `{"version":1,"resolu` + "\n",
+		// Torn header followed by entries from the old file: without a
+		// valid header the entries are unprovenanced and must be dropped.
+		"with-orphan-entries": "{\"vers\n{\"total\":64,\"rep\":0,\"nodes\":{},\"times\":{},\"run_total\":1}\n",
+	}
+	for name, torn := range cases {
+		t.Run(name, func(t *testing.T) {
+			ckPath := filepath.Join(t.TempDir(), "campaign.jsonl")
+			c := Campaign{
+				Resolution: cesm.Res1Deg,
+				Layout:     cesm.Layout1,
+				NodeCounts: []int{64, 128, 256, 512},
+				Seed:       2,
+				Checkpoint: ckPath,
+			}
+			// Reference data from an untouched campaign.
+			ref := c
+			ref.Checkpoint = ""
+			want, _, err := ref.RunContext(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(ckPath, []byte(torn), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, report, err := c.RunContext(context.Background())
+			if err != nil {
+				t.Fatalf("torn header not recovered: %v", err)
+			}
+			if report.Resumed != 0 || report.Completed != len(c.NodeCounts) {
+				t.Fatalf("resumed %d / completed %d, want 0 / %d",
+					report.Resumed, report.Completed, len(c.NodeCounts))
+			}
+			if mustJSON(t, want.Samples) != mustJSON(t, got.Samples) {
+				t.Fatal("data differs after torn-header recovery")
+			}
+			// The rewritten file must now be a valid checkpoint: a second
+			// resume replays everything.
+			_, report2, err := c.RunContext(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report2.Resumed != len(c.NodeCounts) {
+				t.Fatalf("re-resume replayed %d, want %d", report2.Resumed, len(c.NodeCounts))
+			}
+		})
+	}
+}
+
 func TestCheckpointMismatch(t *testing.T) {
 	dir := t.TempDir()
 	ckPath := filepath.Join(dir, "campaign.jsonl")

@@ -69,6 +69,15 @@ type Options struct {
 	// The paper reports two orders of magnitude speedup from this rule.
 	BranchSOS bool
 	NLP       nlp.Options
+	// Workers, if > 1, lets NLPBB run up to Workers NLP relaxations
+	// concurrently by speculative prefetch: the branch-and-bound state
+	// machine itself stays sequential and deterministic, and the pool
+	// pre-solves the nodes most likely to be visited next (see
+	// solveNLPBBPar). The returned X, Obj, Nodes and NLPSolves are
+	// bit-identical for every worker count. 0 or 1 means the historical
+	// sequential search. OuterApprox ignores Workers: its cut pool grows
+	// as a side effect of every NLP solve, which is unsafe to reorder.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -331,12 +340,37 @@ func (w *work) nlViolation(x []float64) float64 {
 type node struct {
 	lower, upper []float64
 	bound        float64
+	// seq is the node's creation order, the heap's tie-break between
+	// equal bounds. Equal-bound ties are common here (both children of a
+	// branch inherit the parent relaxation's objective), and
+	// container/heap resolves them by internal position — stable for one
+	// fixed pop/push sequence but not something to build determinism on.
+	// Breaking ties by creation order pins the best-first order itself,
+	// so the parallel NLPBB search visits an identical tree at any worker
+	// count. Nodes that never get a seq (OuterApprox) tie at 0 and keep
+	// the old positional behavior.
+	seq int64
+	// start warm-starts the node's NLP relaxation from the parent's
+	// solution (nil at the root falls back to the box midpoint). The
+	// first-order augmented-Lagrangian NLP needs this on SOS-branched
+	// children: pinning selectors to zero moves the box midpoint far off
+	// the Σy=1 manifold, and a cold start from there stalls and
+	// misreports feasible children as infeasible — silently pruning
+	// feasible subtrees. The parent's point is one projection away from
+	// the child's box and keeps the solve in its convergent regime.
+	// Aliased by both children and never written through.
+	start []float64
 }
 
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].seq < h[j].seq
+}
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() interface{} {

@@ -4,7 +4,10 @@ import (
 	"container/heap"
 	"context"
 	"math"
+	"sync"
+	"sync/atomic"
 
+	"hslb/internal/model"
 	"hslb/internal/nlp"
 )
 
@@ -12,11 +15,25 @@ import (
 // continuous NLP relaxation restricted to the node's bounds; fractional
 // integer variables (or SOS-1 sets) are branched on; NLP objective values
 // give valid lower bounds because the problems are convex.
+//
+// With opt.Workers > 1 the NLP relaxations — the entirety of the per-node
+// cost — run on a pool of workers via speculative prefetch (see
+// solveNLPBBPar). The search itself stays a single deterministic state
+// machine, so X, Obj, Nodes and NLPSolves are identical at every worker
+// count.
 func solveNLPBB(ctx context.Context, w *work, opt Options) (*Result, error) {
+	if opt.Workers > 1 {
+		return solveNLPBBPar(ctx, w, opt)
+	}
+	return solveNLPBBSeq(ctx, w, opt)
+}
+
+func solveNLPBBSeq(ctx context.Context, w *work, opt Options) (*Result, error) {
 	m := w.m
 	intVars := m.IntegerVars()
 	open := &nodeHeap{rootNode(m)}
 	heap.Init(open)
+	var heapSeq int64 // creation stamps; the root keeps 0
 
 	incumbent := math.Inf(1)
 	var bestX []float64
@@ -42,23 +59,14 @@ func solveNLPBB(ctx context.Context, w *work, opt Options) (*Result, error) {
 		}
 		nodes++
 
-		emptyBox := false
-		nm := m.Clone()
-		for i := range nm.Vars {
-			if nd.lower[i] > nd.upper[i] {
-				emptyBox = true
-				break
-			}
-			nm.Vars[i].Lower = nd.lower[i]
-			nm.Vars[i].Upper = nd.upper[i]
+		ev := evalNode(w, opt, nd)
+		if ev.err != nil {
+			return nil, ev.err
 		}
-		if emptyBox {
+		if ev.empty {
 			continue
 		}
-		res, err := nlp.Solve(nm, nil, opt.NLP)
-		if err != nil {
-			return nil, err
-		}
+		res := ev.res
 		nlpSolves++
 		if res.Status == nlp.Infeasible {
 			continue
@@ -83,18 +91,382 @@ func solveNLPBB(ctx context.Context, w *work, opt Options) (*Result, error) {
 		}
 		if opt.BranchSOS {
 			if left, right, ok := branchSOS(m, nd, res.X, opt.IntTol); ok {
-				left.bound, right.bound = obj, obj
-				heap.Push(open, left)
-				heap.Push(open, right)
+				pushChildren(open, &heapSeq, left, right, obj, res.X)
 				continue
 			}
 		}
 		left, right := branchVar(nd, frac, res.X[frac])
-		left.bound, right.bound = obj, obj
-		heap.Push(open, left)
-		heap.Push(open, right)
+		pushChildren(open, &heapSeq, left, right, obj, res.X)
 	}
 	return resultOf(bestX, incumbent, Optimal, nodes, nlpSolves, 0), nil
+}
+
+// solveNLPBBPar parallelizes NLPBB without giving up determinism. A naive
+// scheme — pop W nodes, solve concurrently, apply as they finish — lets
+// scheduling decide which node's incumbent lands first, and on the
+// near-tie trees HSLB produces (§III-E: many allocations within the
+// relative gap of each other) that changes which optimal-within-gap
+// allocation is returned. Instead the coordinator here replays the exact
+// sequential state machine — same pop order (the (bound, seq) total order
+// makes it well defined), same prune tests against the same incumbent
+// trajectory, same counters — and the worker pool only PREFETCHES: it
+// speculatively solves the relaxations of the nodes currently most likely
+// to be popped next. When the machine reaches a node whose solve is done
+// or in flight, it consumes that result; otherwise it solves on demand.
+// Speculation can waste NLP solves (never counted; NLPSolves counts only
+// consumed solves, exactly the sequential set) but can never change the
+// search, so any worker count returns bit-identical X, Obj, Nodes and
+// NLPSolves. Workers also skip speculative solves already prunable
+// against an atomic incumbent snapshot: the incumbent only improves and
+// t − pruneGap(t) is increasing in t, so such a node is certain to be
+// pruned at consume time before its result is ever read.
+func solveNLPBBPar(ctx context.Context, w *work, opt Options) (*Result, error) {
+	workers := opt.Workers
+	m := w.m
+	intVars := m.IntegerVars()
+	open := &nodeHeap{rootNode(m)}
+	heap.Init(open)
+	var heapSeq int64
+
+	incumbent := math.Inf(1)
+	var bestX []float64
+	nodes, nlpSolves := 0, 0
+	var lastX []float64
+
+	var sharedInc atomic.Uint64
+	sharedInc.Store(math.Float64bits(incumbent))
+
+	// budget caps launched-but-unreceived evaluations; jobs and results
+	// are buffered to it so neither the coordinator nor an abandoned
+	// worker can ever block on the other.
+	budget := 2 * workers
+	jobs := make(chan *node, budget)
+	results := make(chan bbEval, budget)
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for nd := range jobs {
+				if stopped.Load() {
+					results <- bbEval{nd: nd, skipped: true}
+					continue
+				}
+				snap := math.Float64frombits(sharedInc.Load())
+				if nd.bound >= snap-pruneGap(opt, snap) {
+					results <- bbEval{nd: nd, skipped: true}
+					continue
+				}
+				results <- evalNode(w, opt, nd)
+			}
+		}()
+	}
+	defer func() {
+		stopped.Store(true)
+		close(jobs)
+		wg.Wait()
+	}()
+
+	// spec holds nodes popped off the heap for prefetch but not yet
+	// consumed by the state machine; together heap ∪ spec is exactly the
+	// sequential algorithm's open set. done parks received evaluations.
+	var spec []*node
+	done := map[*node]bbEval{}
+	launched := map[*node]bool{}
+	inflight := 0 // launched, result not yet received
+
+	recvOne := func() bool {
+		select {
+		case <-ctx.Done():
+			return false
+		case r := <-results:
+			done[r.nd] = r
+			inflight--
+			return true
+		}
+	}
+
+	for {
+		if open.Len()+len(spec) == 0 {
+			return resultOf(bestX, incumbent, Optimal, nodes, nlpSolves, 0), nil
+		}
+		if ctx.Err() != nil {
+			if bestX == nil {
+				if x, obj, ok := rescueDive(w, opt, lastX); ok {
+					incumbent = obj
+					bestX = snapInts(x, intVars)
+				}
+			}
+			return resultOf(bestX, incumbent, Deadline, nodes, nlpSolves, 0), nil
+		}
+		if nodes >= opt.MaxNodes {
+			return resultOf(bestX, incumbent, NodeLimit, nodes, nlpSolves, 0), nil
+		}
+
+		// Prefetch: keep the most promising open nodes solving in the
+		// background. Popping them here does not disturb the sequential
+		// order — the consume step below always takes the global
+		// (bound, seq) minimum of spec and the heap.
+		for len(spec) < workers && open.Len() > 0 && inflight < budget {
+			nd := heap.Pop(open).(*node)
+			spec = append(spec, nd)
+			launched[nd] = true
+			inflight++
+			jobs <- nd
+		}
+
+		// Consume the exact node the sequential loop would pop next.
+		best := -1
+		for i, s := range spec {
+			if best < 0 || nodeLess(s, spec[best]) {
+				best = i
+			}
+		}
+		var nd *node
+		if best >= 0 && (open.Len() == 0 || nodeLess(spec[best], (*open)[0])) {
+			nd = spec[best]
+			spec[best] = spec[len(spec)-1]
+			spec = spec[:len(spec)-1]
+		} else {
+			nd = heap.Pop(open).(*node)
+		}
+		if nd.bound >= incumbent-pruneGap(opt, incumbent) {
+			delete(done, nd) // any speculative result is abandoned
+			delete(launched, nd)
+			continue
+		}
+		nodes++
+
+		ev, ok := done[nd]
+		if !ok && !launched[nd] {
+			// Speculation missed this node entirely (it was pushed after
+			// the prefetch filled): solve on demand, still through the
+			// pool so the budget invariant holds.
+			for inflight >= budget {
+				if !recvOne() {
+					break
+				}
+			}
+			if ctx.Err() == nil {
+				launched[nd] = true
+				inflight++
+				jobs <- nd
+			}
+		}
+		for !ok && ctx.Err() == nil {
+			if !recvOne() {
+				break
+			}
+			ev, ok = done[nd]
+		}
+		if !ok {
+			continue // context expired while waiting; deadline path above
+		}
+		delete(done, nd)
+		delete(launched, nd)
+		if ev.skipped {
+			// The worker's incumbent snapshot said prunable but the
+			// consume-time test disagreed — impossible while the
+			// incumbent-monotonicity argument holds, but numerics are
+			// numerics: fall back to an inline solve rather than trust it.
+			ev = evalNode(w, opt, nd)
+		}
+
+		if ev.err != nil {
+			return nil, ev.err
+		}
+		if ev.empty {
+			continue
+		}
+		res := ev.res
+		nlpSolves++
+		if res.Status == nlp.Infeasible {
+			continue
+		}
+		obj := res.Obj
+		if obj >= incumbent-pruneGap(opt, incumbent) {
+			continue
+		}
+		clampToNode(res.X, nd)
+		lastX = res.X
+
+		frac := pickFractional(res.X, intVars, opt.IntTol)
+		if frac < 0 && res.FeasErr <= opt.FeasTol {
+			incumbent = obj
+			bestX = snapInts(res.X, intVars)
+			sharedInc.Store(math.Float64bits(incumbent))
+			continue
+		}
+		if frac < 0 {
+			continue
+		}
+		if opt.BranchSOS {
+			if left, right, ok := branchSOS(m, nd, res.X, opt.IntTol); ok {
+				pushChildren(open, &heapSeq, left, right, obj, res.X)
+				continue
+			}
+		}
+		left, right := branchVar(nd, frac, res.X[frac])
+		pushChildren(open, &heapSeq, left, right, obj, res.X)
+	}
+}
+
+// nodeLess is the heap's strict total order, usable outside the heap.
+func nodeLess(a, b *node) bool {
+	if a.bound != b.bound {
+		return a.bound < b.bound
+	}
+	return a.seq < b.seq
+}
+
+// bbEval is the outcome of evaluating one node's NLP relaxation.
+type bbEval struct {
+	nd      *node
+	skipped bool // prunable against the incumbent snapshot; not solved
+	empty   bool // empty bound box; not solved
+	res     *nlp.Result
+	err     error
+}
+
+// evalNode is the pure per-node work: restrict the model to the node's
+// box and solve the continuous relaxation. It touches no solver state —
+// w is read-only here (Clone reads it; the clone is private) — so any
+// number may run concurrently.
+func evalNode(w *work, opt Options, nd *node) bbEval {
+	ev := bbEval{nd: nd}
+	nm := w.m.Clone()
+	for i := range nm.Vars {
+		if nd.lower[i] > nd.upper[i] {
+			ev.empty = true
+			return ev
+		}
+		nm.Vars[i].Lower = nd.lower[i]
+		nm.Vars[i].Upper = nd.upper[i]
+	}
+	if reduceSelectionSets(nm) {
+		ev.empty = true
+		return ev
+	}
+	ev.res, ev.err = nlp.Solve(nm, nd.start, opt.NLP)
+	if ev.res != nil && ev.res.X != nil {
+		liftSelectors(w.m, nd, ev.res.X)
+	}
+	return ev
+}
+
+// reduceSelectionSets rewrites each selection set for the NLP relaxation:
+// the binary encoding (selectors z with Σz = 1 and target = Σw·z) is
+// exactly the interval hull of the still-active weights when the z are
+// relaxed to [0,1], so the two equality constraints are dropped, the
+// selectors pinned to 0, and the target's box intersected with that hull.
+// This matters beyond speed: the first-order augmented-Lagrangian NLP
+// reliably stalls on the Σz = 1 manifold once branching pins selector
+// blocks to zero — the box midpoint it cold-starts from is nowhere near
+// feasible — and a stalled solve reads as "infeasible", silently pruning
+// feasible subtrees (the 1° Table I model was unsolvable by NLPBB because
+// of it). Reports true when some set has no active selector left or the
+// hull misses the target's box, i.e. the node is empty. Sets without
+// recorded encoding constraints (LinkCon == Pick1Con) are left alone.
+func reduceSelectionSets(nm *model.Model) bool {
+	var drop map[int]bool
+	for _, s := range nm.SOS {
+		if s.LinkCon == s.Pick1Con {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for k, sel := range s.Selectors {
+			if nm.Vars[sel].Upper > 0 {
+				if s.Weights[k] < lo {
+					lo = s.Weights[k]
+				}
+				if s.Weights[k] > hi {
+					hi = s.Weights[k]
+				}
+			}
+			nm.Vars[sel].Lower, nm.Vars[sel].Upper = 0, 0
+		}
+		tv := &nm.Vars[s.Target]
+		if tv.Lower > lo {
+			lo = tv.Lower
+		}
+		if tv.Upper < hi {
+			hi = tv.Upper
+		}
+		if lo > hi {
+			return true
+		}
+		tv.Lower, tv.Upper = lo, hi
+		if drop == nil {
+			drop = map[int]bool{}
+		}
+		drop[s.Pick1Con] = true
+		drop[s.LinkCon] = true
+	}
+	if drop != nil {
+		kept := nm.Cons[:0]
+		for i := range nm.Cons {
+			if !drop[i] {
+				kept = append(kept, nm.Cons[i])
+			}
+		}
+		nm.Cons = kept
+	}
+	return false
+}
+
+// liftSelectors writes a consistent convex combination back into the
+// selector slots of a reduced-relaxation solution, so the rest of the
+// search (pickFractional, branchSOS, feasibility checks against the full
+// model) sees the set state the dropped encoding would have produced: the
+// two active weights bracketing the target are interpolated, collapsing
+// to a single z = 1 when the target sits on an allowed weight.
+func liftSelectors(m *model.Model, nd *node, x []float64) {
+	for _, s := range m.SOS {
+		if s.LinkCon == s.Pick1Con {
+			continue
+		}
+		t := x[s.Target]
+		a, b := -1, -1 // nearest active weights ≤ t / ≥ t
+		for k, sel := range s.Selectors {
+			x[sel] = 0
+			if nd.upper[sel] <= 0 {
+				continue
+			}
+			if s.Weights[k] <= t+1e-9 {
+				a = k
+			}
+			if b < 0 && s.Weights[k] >= t-1e-9 {
+				b = k
+			}
+		}
+		switch {
+		case a < 0 && b < 0:
+			// No active selector: an empty node; nothing sensible to write.
+		case a < 0:
+			x[s.Selectors[b]] = 1
+		case b < 0 || a == b:
+			x[s.Selectors[a]] = 1
+		default:
+			lam := (s.Weights[b] - t) / (s.Weights[b] - s.Weights[a])
+			x[s.Selectors[a]] = lam
+			x[s.Selectors[b]] = 1 - lam
+		}
+	}
+}
+
+// pushChildren stamps both children with creation order and puts them on
+// the heap with their parent's relaxation objective as bound and the
+// parent's solution as warm start.
+func pushChildren(open *nodeHeap, heapSeq *int64, left, right *node, bound float64, start []float64) {
+	left.bound, right.bound = bound, bound
+	left.start, right.start = start, start
+	*heapSeq++
+	left.seq = *heapSeq
+	*heapSeq++
+	right.seq = *heapSeq
+	heap.Push(open, left)
+	heap.Push(open, right)
 }
 
 func resultOf(x []float64, obj float64, st Status, nodes, nlpSolves, cuts int) *Result {

@@ -1,0 +1,142 @@
+package minlp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hslb/internal/expr"
+	"hslb/internal/model"
+)
+
+// randMinMax builds a random convex min-max allocation instance of the
+// agreement-test family, sized to grow a branch-and-bound tree with real
+// depth.
+func randMinMax(seed int64) *model.Model {
+	rng := rand.New(rand.NewSource(seed))
+	k := 3 + rng.Intn(2)
+	N := 40 + rng.Intn(40)
+	m := model.New()
+	T := m.AddVar("T", model.Continuous, 0, 1e9)
+	capTerms := make([]expr.Expr, k)
+	for i := 0; i < k; i++ {
+		n := m.AddVar("n", model.Integer, 1, float64(N))
+		capTerms[i] = n
+		a := 20 + rng.Float64()*300
+		d := rng.Float64() * 10
+		m.AddConstraint("t", expr.Sub(expr.Sum(expr.Div{Num: expr.C(a), Den: n}, expr.C(d)), T), model.LE, 0)
+	}
+	m.AddConstraint("cap", expr.Sum(capTerms...), model.LE, float64(N))
+	m.SetObjective(T, model.Minimize)
+	return m
+}
+
+// TestParallelNLPBBDeterministic: the parallel search must return the
+// same allocation — bit-identical X, not merely the same objective — and
+// visit the same number of nodes at every worker count, because node
+// selection and incumbent updates are serialized in launch order.
+func TestParallelNLPBBDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		m := randMinMax(seed)
+		base, err := Solve(m, Options{Algorithm: NLPBB, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			r, err := Solve(m, Options{Algorithm: NLPBB, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Status != base.Status || r.Obj != base.Obj || r.Nodes != base.Nodes || r.NLPSolves != base.NLPSolves {
+				t.Fatalf("seed %d workers %d: (status, obj, nodes, solves) = (%v, %v, %d, %d), want (%v, %v, %d, %d)",
+					seed, workers, r.Status, r.Obj, r.Nodes, r.NLPSolves, base.Status, base.Obj, base.Nodes, base.NLPSolves)
+			}
+			if len(r.X) != len(base.X) {
+				t.Fatalf("seed %d workers %d: |X| = %d, want %d", seed, workers, len(r.X), len(base.X))
+			}
+			for i := range r.X {
+				if r.X[i] != base.X[i] {
+					t.Fatalf("seed %d workers %d: X[%d] = %v, want %v (allocation depends on scheduling)",
+						seed, workers, i, r.X[i], base.X[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelNLPBBNodeLimitDeterministic: a truncated search is the
+// strictest determinism probe — if scheduling leaked into node order, the
+// first MaxNodes nodes (and so the incumbent at the cutoff) would differ.
+func TestParallelNLPBBNodeLimitDeterministic(t *testing.T) {
+	m := hardHSLB(12, 500) // runs ~220 nodes to optimality; cut it short
+	opt := func(w int) Options {
+		return Options{Algorithm: NLPBB, Workers: w, MaxNodes: 40}
+	}
+	base, err := Solve(m, opt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Status != NodeLimit || base.Nodes != 40 {
+		t.Fatalf("instance too easy: status %v after %d nodes", base.Status, base.Nodes)
+	}
+	for _, workers := range []int{3, 8} {
+		r, err := Solve(m, opt(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != base.Status || r.Obj != base.Obj || r.Nodes != base.Nodes || r.NLPSolves != base.NLPSolves {
+			t.Fatalf("workers %d: (status, obj, nodes, solves) = (%v, %v, %d, %d), want (%v, %v, %d, %d)",
+				workers, r.Status, r.Obj, r.Nodes, r.NLPSolves, base.Status, base.Obj, base.Nodes, base.NLPSolves)
+		}
+		for i := range r.X {
+			if r.X[i] != base.X[i] {
+				t.Fatalf("workers %d: X[%d] = %v, want %v", workers, i, r.X[i], base.X[i])
+			}
+		}
+	}
+}
+
+// TestParallelNLPBBDeadline: the PR-2 deadline contract survives the
+// worker pool — a hard instance under a short deadline returns promptly
+// with Status Deadline and a feasible incumbent.
+func TestParallelNLPBBDeadline(t *testing.T) {
+	m := hardHSLB(80, 1_000_000)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	r, err := SolveContext(ctx, m, Options{Algorithm: NLPBB, MaxNodes: 1 << 30, Workers: 8})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("solver returned only after %v against a 50ms deadline", elapsed)
+	}
+	if r.Status != Deadline {
+		t.Fatalf("status = %v (nodes=%d), want deadline", r.Status, r.Nodes)
+	}
+	if r.X == nil {
+		t.Fatal("deadline result carries no incumbent")
+	}
+	if !m.IsFeasible(r.X, 1e-4) {
+		t.Fatalf("deadline incumbent infeasible: %v", r.X)
+	}
+}
+
+// TestParallelNLPBBCancellation: an already-cancelled context stops the
+// pool before any node is processed.
+func TestParallelNLPBBCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := SolveContext(ctx, hardHSLB(6, 100000), Options{Algorithm: NLPBB, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Deadline {
+		t.Fatalf("status = %v, want deadline", r.Status)
+	}
+	if r.Nodes != 0 {
+		t.Fatalf("processed %d nodes under a cancelled context", r.Nodes)
+	}
+}

@@ -115,6 +115,14 @@ type SOS1 struct {
 	Target    int       // variable index tied to the selection
 	Selectors []int     // binary variable indices z_k
 	Weights   []float64 // allowed values O_k / A_k, ascending
+	// Pick1Con and LinkCon locate the set's encoding constraints in Cons
+	// (Σz = 1 and Σw·z − target = 0 respectively). Solvers that treat the
+	// set structurally can substitute both with the interval hull of the
+	// still-allowed weights (see internal/minlp). Both are 0 on an SOS1
+	// not built by AddSelectionSet, which never stores its pick1
+	// constraint at index 0 — LinkCon == Pick1Con marks them unset.
+	Pick1Con int
+	LinkCon  int
 }
 
 // Model is a mixed-integer nonlinear program.
@@ -171,6 +179,8 @@ func (m *Model) AddSelectionSet(name string, target expr.Var, values []float64) 
 		Target:    target.Index,
 		Selectors: sels,
 		Weights:   append([]float64(nil), values...),
+		Pick1Con:  len(m.Cons) - 2,
+		LinkCon:   len(m.Cons) - 1,
 	})
 	return len(m.SOS) - 1
 }
@@ -218,6 +228,8 @@ func (m *Model) Clone() *Model {
 			Target:    s.Target,
 			Selectors: append([]int(nil), s.Selectors...),
 			Weights:   append([]float64(nil), s.Weights...),
+			Pick1Con:  s.Pick1Con,
+			LinkCon:   s.LinkCon,
 		}
 	}
 	return out

@@ -81,17 +81,20 @@ func solve(req *SolveRequest) *SolveResponse {
 	if err != nil {
 		return &SolveResponse{Status: "error", Error: err.Error()}
 	}
-	return solveParsedContext(context.Background(), parsed, req)
+	return solveParsedContext(context.Background(), parsed, req, 0)
 }
 
 // solveParsedContext optimizes an already-parsed request; when ctx carries a
 // deadline the solver stops there and reports status "deadline" with its
-// best incumbent.
-func solveParsedContext(ctx context.Context, parsed *ampl.Result, req *SolveRequest) *SolveResponse {
+// best incumbent. workers > 1 parallelizes the NLPBB tree search — a
+// deployment knob, not part of the request (or its cache key), because it
+// cannot change the solution, only the wall-clock.
+func solveParsedContext(ctx context.Context, parsed *ampl.Result, req *SolveRequest, workers int) *SolveResponse {
 	opt := minlp.Options{
 		BranchSOS: req.BranchSOS,
 		MaxNodes:  req.MaxNodes,
 		RelGap:    req.RelGap,
+		Workers:   workers,
 	}
 	switch req.Algorithm {
 	case "", "oa":

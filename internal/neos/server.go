@@ -55,6 +55,12 @@ type Config struct {
 	// models exist on which the outer-approximation cut loop makes
 	// progress far too slowly to ever finish.
 	SolveTimeout time.Duration
+	// SolveWorkers is minlp.Options.Workers for every solver invocation:
+	// > 1 parallelizes the NLPBB tree search. Deliberately absent from
+	// the cache key — the parallel search returns a bit-identical
+	// solution, so responses cached at one worker count are valid at any
+	// other (default 1; requests using OuterApprox are unaffected).
+	SolveWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -206,7 +212,7 @@ func (s *Server) solveCached(req *SolveRequest) *SolveResponse {
 			defer cancel()
 		}
 		start := time.Now()
-		resp := solveParsedContext(ctx, parsed, req)
+		resp := solveParsedContext(ctx, parsed, req, s.cfg.SolveWorkers)
 		s.hist.observe(time.Since(start).Seconds())
 		// Solves are deterministic, so every terminal status (optimal,
 		// infeasible, node-limit) is cacheable; "error" is not, to keep

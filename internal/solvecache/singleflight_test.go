@@ -1,0 +1,108 @@
+package solvecache
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// doRecovered runs g.Do and converts a propagated panic into a return
+// value, so tests can assert on it without dying.
+func doRecovered(g *Group[int], key string, fn func() (int, error)) (v int, err error, panicked any) {
+	defer func() { panicked = recover() }()
+	v, err, _ = g.Do(key, fn)
+	return v, err, nil
+}
+
+// TestSingleflightPanicDoesNotWedgeKey is the regression test for the
+// panic leak: before the deferred cleanup existed, a panicking fn left its
+// key in g.calls with an un-Done WaitGroup, so the NEXT identical request
+// blocked forever on wg.Wait and the server wedged on one bad model.
+func TestSingleflightPanicDoesNotWedgeKey(t *testing.T) {
+	var g Group[int]
+
+	_, _, panicked := doRecovered(&g, "k", func() (int, error) { panic("solver exploded") })
+	if panicked == nil {
+		t.Fatal("panic was swallowed instead of propagated to the caller")
+	}
+	pe, ok := panicked.(*panicError)
+	if !ok {
+		t.Fatalf("panic value %T, want *panicError", panicked)
+	}
+	if !strings.Contains(pe.Error(), "solver exploded") || len(pe.stack) == 0 {
+		t.Fatalf("panic lost its value or stack: %v", pe.Error())
+	}
+
+	// The key must be free again: a second identical request runs fn and
+	// returns normally instead of deadlocking.
+	done := make(chan struct{})
+	var v int
+	var err error
+	go func() {
+		defer close(done)
+		v, err, _ = g.Do("k", func() (int, error) { return 7, nil })
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second request for the panicked key deadlocked")
+	}
+	if err != nil || v != 7 {
+		t.Fatalf("second request = %d, %v", v, err)
+	}
+}
+
+// TestSingleflightPanicPropagatesToWaiters: callers already blocked on the
+// in-flight call when fn panics must receive the panic too, not hang.
+func TestSingleflightPanicPropagatesToWaiters(t *testing.T) {
+	var g Group[int]
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan any, 1)
+	go func() {
+		_, _, p := doRecovered(&g, "k", func() (int, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+		leaderDone <- p
+	}()
+	<-entered
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	got := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, p := doRecovered(&g, "k", func() (int, error) {
+				t.Error("waiter executed fn; it should only wait")
+				return 0, nil
+			})
+			got[i] = p
+		}(i)
+	}
+	// Give the waiters a moment to pile up on the in-flight call, then
+	// let the leader panic.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiters deadlocked after the leader panicked")
+	}
+	if p := <-leaderDone; p == nil {
+		t.Fatal("leader did not observe its own panic")
+	}
+	for i, p := range got {
+		if p == nil {
+			t.Fatalf("waiter %d returned normally; want propagated panic", i)
+		}
+	}
+}
