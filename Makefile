@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race chaos bench
+.PHONY: verify build test vet race chaos bench load
 
-verify: build vet test race
+verify: build vet test race load
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# The experiments package alone needs ~17 minutes under the race detector
+# on a 1-CPU container, past go test's default 10-minute per-package
+# timeout, so the race pass gets explicit headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Fault-injection suite: the chaos pipeline acceptance scenario plus the
 # resilient-gather and fault-plan tests, with the parallel-path variants
@@ -40,3 +43,10 @@ chaos:
 # results are not identical to sequential.
 bench:
 	$(GO) run ./cmd/hslbbench -o BENCH_parallel.json
+
+# Overload acceptance: a closed-loop generator measures peak goodput at
+# solver capacity, then storms the protected server at 4x capacity with
+# propagated client deadlines (plus an unprotected server for contrast) and
+# fails unless protected goodput stays >= 50% of peak. Runs in ~15s.
+load:
+	$(GO) run ./cmd/hslbload -peak 3s -storm 5s -min-goodput-frac 0.5

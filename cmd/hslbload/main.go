@@ -1,0 +1,351 @@
+// Command hslbload is a closed-loop overload generator for the solve
+// service. It starts an in-process protected server (overload stack on),
+// measures peak goodput at exactly solver capacity, then offers -factor ×
+// capacity with propagated client deadlines and measures goodput again.
+// Optionally (-compare, on by default) it repeats the storm against an
+// unprotected server to show the before/after contrast: without admission
+// control every request is admitted, queue wait eats the client budget, and
+// most answers arrive too late to count.
+//
+// Goodput is full-quality answers per second: HTTP 200 with a terminal
+// solver status, not "deadline" and not tagged "quality":"degraded".
+// Degraded answers and 429s are better than nothing — that is the point of
+// the brownout ladder — but they do not count toward goodput.
+//
+// The process exits non-zero when the protected server's overload goodput
+// falls below -min-goodput-frac of its own peak, making it usable as a CI
+// gate (`make load`).
+//
+// Usage:
+//
+//	hslbload -factor 4 -peak 3s -storm 6s -min-goodput-frac 0.5
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hslb/internal/neos"
+)
+
+func main() {
+	var (
+		concurrency    = flag.Int("concurrency", 2, "solver slots on the servers under test")
+		factor         = flag.Int("factor", 4, "overload multiple: storm clients = factor × concurrency")
+		peakDur        = flag.Duration("peak", 3*time.Second, "duration of the peak (at-capacity) phase")
+		stormDur       = flag.Duration("storm", 6*time.Second, "duration of each overload phase")
+		budgetMult     = flag.Float64("budget-mult", 3, "client deadline = budget-mult × peak average latency")
+		minGoodputFrac = flag.Float64("min-goodput-frac", 0.5, "fail unless protected overload goodput ≥ this fraction of peak")
+		compare        = flag.Bool("compare", true, "also storm an unprotected server for contrast")
+		jsonOut        = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	protectedURL, closeProtected := startServer(*concurrency, true)
+	defer closeProtected()
+
+	// Unique model per request: goodput must measure real solves, not
+	// cache hits.
+	var nextID atomic.Uint64
+
+	// Phase 1 — peak: exactly `concurrency` closed-loop clients, no
+	// deadlines. This is the best the solver can do; everything after is
+	// measured against it.
+	peak := runPhase(phaseConfig{
+		url:     protectedURL,
+		clients: *concurrency,
+		dur:     *peakDur,
+		ids:     &nextID,
+	})
+	if peak.full == 0 {
+		log.Fatal("peak phase produced no full-quality answers; cannot calibrate")
+	}
+	budget := time.Duration(*budgetMult * float64(peak.avgLatency()))
+	if budget < 80*time.Millisecond {
+		budget = 80 * time.Millisecond
+	}
+	if budget > 2*time.Second {
+		budget = 2 * time.Second
+	}
+
+	// Phase 2 — storm the protected server at factor × capacity with the
+	// calibrated client deadline propagated on every request.
+	storm := runPhase(phaseConfig{
+		url:     protectedURL,
+		clients: *factor * *concurrency,
+		dur:     *stormDur,
+		budget:  budget,
+		ids:     &nextID,
+	})
+
+	// Phase 3 (optional) — the same storm against an unprotected server.
+	var baseline *phaseResult
+	if *compare {
+		baseURL, closeBase := startServer(*concurrency, false)
+		r := runPhase(phaseConfig{
+			url:     baseURL,
+			clients: *factor * *concurrency,
+			dur:     *stormDur,
+			budget:  budget,
+			ids:     &nextID,
+		})
+		closeBase()
+		baseline = &r
+	}
+
+	frac := storm.goodput() / peak.goodput()
+	report(*jsonOut, peak, storm, baseline, budget, frac)
+	if frac < *minGoodputFrac {
+		fmt.Fprintf(os.Stderr, "FAIL: protected goodput under %dx overload is %.0f%% of peak (need >= %.0f%%)\n",
+			*factor, 100*frac, 100**minGoodputFrac)
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: protected goodput under %dx overload is %.0f%% of peak (threshold %.0f%%)\n",
+		*factor, 100*frac, 100**minGoodputFrac)
+}
+
+// startServer runs an in-process solve service on a loopback port and
+// returns its base URL plus a shutdown function.
+func startServer(concurrency int, protected bool) (string, func()) {
+	srv, err := neos.NewServerWith(neos.Config{
+		MaxConcurrent: concurrency,
+		SolveTimeout:  5 * time.Second,
+		Overload:      neos.OverloadConfig{Enabled: protected},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() {
+		srv.BeginDrain()
+		hs.Close()
+		if err := srv.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}
+}
+
+// workModel emits a unique near-tie load-balancing model (8 components,
+// N=2000) that takes the branch-and-bound a few tens of milliseconds: large
+// enough that queueing is real, small enough that a storm finishes in
+// seconds. The per-id coefficient perturbation makes every request a
+// distinct cache key.
+func workModel(id uint64) string {
+	const k, n = 8, 2000
+	var b strings.Builder
+	fmt.Fprintf(&b, "param N := %d;\nvar T >= 0 <= 100000;\n", n)
+	for j := 1; j <= k; j++ {
+		fmt.Fprintf(&b, "var n%d integer >= 1 <= %d;\n", j, n)
+	}
+	b.WriteString("minimize total: T;\n")
+	for j := 1; j <= k; j++ {
+		fmt.Fprintf(&b, "subject to t%d: %0.6f / n%d + %0.6f <= T;\n",
+			j, float64(n)*1.375+float64(j)*0.001+float64(id)*0.0001, j, float64(j)*1e-6)
+	}
+	b.WriteString("subject to cap: ")
+	for j := 1; j <= k; j++ {
+		if j > 1 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "n%d", j)
+	}
+	fmt.Fprintf(&b, " <= N;\n")
+	return b.String()
+}
+
+type phaseConfig struct {
+	url     string
+	clients int
+	dur     time.Duration
+	budget  time.Duration // 0 = no propagated deadline
+	ids     *atomic.Uint64
+}
+
+type phaseResult struct {
+	Clients  int           `json:"clients"`
+	Budget   time.Duration `json:"budget_ns"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	full     uint64
+	degraded uint64
+	late     uint64 // 200 with status "deadline": answered, but not full quality
+	shed     uint64 // 429
+	errors   uint64 // transport or unexpected status
+	fullLat  int64  // summed latency of full-quality answers, ns
+
+	Full     uint64  `json:"full"`
+	Degraded uint64  `json:"degraded"`
+	Late     uint64  `json:"late"`
+	Shed     uint64  `json:"shed"`
+	Errors   uint64  `json:"errors"`
+	Goodput  float64 `json:"goodput_per_s"`
+	AvgLatMs float64 `json:"avg_full_latency_ms"`
+}
+
+func (r *phaseResult) goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.full) / r.Elapsed.Seconds()
+}
+
+func (r *phaseResult) avgLatency() time.Duration {
+	if r.full == 0 {
+		return 0
+	}
+	return time.Duration(r.fullLat / int64(r.full))
+}
+
+func (r *phaseResult) finalize() {
+	r.Full, r.Degraded, r.Late, r.Shed, r.Errors = r.full, r.degraded, r.late, r.shed, r.errors
+	r.Goodput = r.goodput()
+	r.AvgLatMs = float64(r.avgLatency()) / float64(time.Millisecond)
+}
+
+// runPhase drives `clients` closed-loop workers against url for dur. Each
+// worker sends one request at a time; a shed worker honors the server's
+// retry_after_ms hint (capped at one second) before trying again.
+func runPhase(cfg phaseConfig) phaseResult {
+	res := phaseResult{Clients: cfg.clients, Budget: cfg.budget}
+	var mu sync.Mutex
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(cfg.dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				id := cfg.ids.Add(1)
+				outcome, lat, retry := doSolve(client, cfg.url, workModel(id), cfg.budget)
+				mu.Lock()
+				switch outcome {
+				case "full":
+					res.full++
+					res.fullLat += int64(lat)
+				case "degraded":
+					res.degraded++
+				case "late":
+					res.late++
+				case "shed":
+					res.shed++
+				default:
+					res.errors++
+				}
+				mu.Unlock()
+				if outcome == "shed" && retry > 0 {
+					if retry > time.Second {
+						retry = time.Second
+					}
+					time.Sleep(retry)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.finalize()
+	return res
+}
+
+// doSolve issues one /solve request and classifies the outcome. For 429s it
+// returns the server's retry_after_ms backoff hint.
+func doSolve(client *http.Client, url, model string, budget time.Duration) (outcome string, lat, retry time.Duration) {
+	body, _ := json.Marshal(map[string]string{"model": model})
+	req, err := http.NewRequest(http.MethodPost, url+"/solve", bytes.NewReader(body))
+	if err != nil {
+		return "error", 0, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if budget > 0 {
+		req.Header.Set("X-Request-Deadline-Ms", fmt.Sprintf("%d", budget.Milliseconds()))
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return "error", 0, 0
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	lat = time.Since(start)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out struct {
+			Status  string `json:"status"`
+			Quality string `json:"quality"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return "error", lat, 0
+		}
+		switch {
+		case out.Quality == "degraded":
+			return "degraded", lat, 0
+		case out.Status == "deadline":
+			return "late", lat, 0
+		case out.Status == "error":
+			return "error", lat, 0
+		default:
+			return "full", lat, 0
+		}
+	case http.StatusTooManyRequests:
+		var out struct {
+			RetryAfterMs int64 `json:"retry_after_ms"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err == nil && out.RetryAfterMs > 0 {
+			retry = time.Duration(out.RetryAfterMs) * time.Millisecond
+		}
+		return "shed", lat, retry
+	default:
+		return "error", lat, 0
+	}
+}
+
+func report(asJSON bool, peak, storm phaseResult, baseline *phaseResult, budget time.Duration, frac float64) {
+	if asJSON {
+		out := map[string]interface{}{
+			"peak":         peak,
+			"storm":        storm,
+			"budget_ms":    budget.Milliseconds(),
+			"goodput_frac": frac,
+		}
+		if baseline != nil {
+			out["unprotected"] = *baseline
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		return
+	}
+	fmt.Printf("client deadline for storm phases: %v (%.1fx peak avg latency %.1fms)\n",
+		budget, float64(budget)/float64(peak.avgLatency()), peak.AvgLatMs)
+	printPhase("peak      (protected, at capacity)", peak)
+	printPhase("storm     (protected, overloaded) ", storm)
+	if baseline != nil {
+		printPhase("storm (unprotected, overloaded) ", *baseline)
+		fmt.Printf("protected goodput %.1f/s vs unprotected %.1f/s under the same storm\n",
+			storm.Goodput, baseline.Goodput)
+	}
+}
+
+func printPhase(name string, r phaseResult) {
+	fmt.Printf("%s: %d clients, %5.1fs: goodput %6.1f/s (full=%d degraded=%d late=%d shed429=%d err=%d, avg full latency %.1fms)\n",
+		name, r.Clients, r.Elapsed.Seconds(), r.Goodput, r.Full, r.Degraded, r.Late, r.Shed, r.Errors, r.AvgLatMs)
+}

@@ -9,6 +9,13 @@
 // queue is persisted to a write-ahead log: jobs submitted before a crash or
 // restart are recovered and completed by the next process.
 //
+// Overload protection is on by default (-overload=false restores the
+// unprotected server): admission control sheds excess /solve load with 429
+// and a Retry-After hint, a circuit breaker short-circuits the solver after
+// consecutive failures, and saturated requests fall back to cached or
+// quick degraded answers before being shed. /health stays a pure liveness
+// probe; /ready reports 503 while draining, saturated, or broken open.
+//
 // Usage:
 //
 //	hslbserver -addr :8080 -concurrency 4 -data-dir /var/lib/hslb
@@ -47,18 +54,34 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", time.Hour, "retention of completed jobs")
 	syncWAL := flag.Bool("fsync", false, "fsync the WAL on every job transition")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	overloadOn := flag.Bool("overload", true, "enable overload protection: admission control, circuit breaker, brownout ladder")
+	maxQueue := flag.Int("max-queue", 0, "solve requests allowed to wait for a slot before shedding (0 = 4 × concurrency)")
+	maxPendingJobs := flag.Int("max-pending-jobs", 0, "async jobs allowed in queued+running state before /submit sheds with 429 (0 = unlimited)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive solver failures that trip the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long a tripped breaker rests before half-open probes")
+	breakerProbe := flag.Float64("breaker-probe", 0.25, "fraction of half-open requests allowed through as probes")
+	degradedTimeout := flag.Duration("degraded-timeout", 250*time.Millisecond, "budget of the brownout rung's quick rounding solve (<0 disables the rung)")
 	flag.Parse()
 
 	srv, err := neos.NewServerWith(neos.Config{
-		MaxConcurrent: *concurrency,
-		CacheSize:     *cacheSize,
-		DataDir:       *dataDir,
-		SyncWAL:       *syncWAL,
-		JobTimeout:    *jobTimeout,
-		MaxAttempts:   *maxAttempts,
-		JobTTL:        *jobTTL,
-		SolveTimeout:  *solveTimeout,
-		SolveWorkers:  *solveWorkers,
+		MaxConcurrent:  *concurrency,
+		CacheSize:      *cacheSize,
+		DataDir:        *dataDir,
+		SyncWAL:        *syncWAL,
+		JobTimeout:     *jobTimeout,
+		MaxAttempts:    *maxAttempts,
+		JobTTL:         *jobTTL,
+		SolveTimeout:   *solveTimeout,
+		SolveWorkers:   *solveWorkers,
+		MaxPendingJobs: *maxPendingJobs,
+		Overload: neos.OverloadConfig{
+			Enabled:          *overloadOn,
+			MaxQueue:         *maxQueue,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			BreakerProbe:     *breakerProbe,
+			DegradedTimeout:  *degradedTimeout,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -89,6 +112,7 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		log.Printf("signal received; draining for up to %v", *drainTimeout)
+		srv.BeginDrain() // /ready turns 503 so load balancers stop sending work
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

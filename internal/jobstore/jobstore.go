@@ -69,6 +69,10 @@ type Options struct {
 	// CompactEvery rewrites the WAL after this many appended records
 	// (default 4096; <0 disables auto-compaction).
 	CompactEvery int
+	// MaxPending caps jobs that are queued or running; Enqueue returns
+	// ErrQueueFull at the cap, so an overloaded server sheds submissions
+	// instead of growing the WAL without bound (0 = unlimited).
+	MaxPending int
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -99,6 +103,11 @@ var ErrConflict = errors.New("jobstore: stale or conflicting transition")
 
 // ErrNotFound is returned for unknown job IDs.
 var ErrNotFound = errors.New("jobstore: no such job")
+
+// ErrQueueFull is returned by Enqueue when Options.MaxPending queued or
+// running jobs already exist. Callers should surface it as backpressure
+// (the solve service maps it to HTTP 429) rather than retry immediately.
+var ErrQueueFull = errors.New("jobstore: queue full")
 
 // Open loads (or creates) a store rooted at dir. dir == "" runs the store
 // memory-only, with no durability. Jobs found in the running state are
@@ -222,7 +231,9 @@ func (s *Store) Close() error {
 	return err
 }
 
-// Enqueue appends a new queued job and returns a snapshot of it.
+// Enqueue appends a new queued job and returns a snapshot of it. When the
+// store already holds Options.MaxPending queued or running jobs it returns
+// ErrQueueFull without growing the WAL.
 func (s *Store) Enqueue(request json.RawMessage, maxAttempts int) (Job, error) {
 	if maxAttempts <= 0 {
 		maxAttempts = 1
@@ -231,6 +242,9 @@ func (s *Store) Enqueue(request json.RawMessage, maxAttempts int) (Job, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return Job{}, errors.New("jobstore: closed")
+	}
+	if s.opts.MaxPending > 0 && s.pendingLocked() >= s.opts.MaxPending {
+		return Job{}, ErrQueueFull
 	}
 	s.nextID++
 	j := &Job{
@@ -397,6 +411,25 @@ func (s *Store) Counts() map[Status]int {
 		out[j.Status]++
 	}
 	return out
+}
+
+// pendingLocked counts jobs that still need work (queued or running).
+func (s *Store) pendingLocked() int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.Status == Queued || j.Status == Running {
+			n++
+		}
+	}
+	return n
+}
+
+// Pending returns the number of queued or running jobs — the count bounded
+// by Options.MaxPending.
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingLocked()
 }
 
 // Depth returns the number of queued jobs.

@@ -320,3 +320,52 @@ func TestMemoryOnlyModeHasNoFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMaxPendingShedsEnqueue(t *testing.T) {
+	s := open(t, t.TempDir(), Options{MaxPending: 2})
+	req := json.RawMessage(`{"model":"m"}`)
+	if _, err := s.Enqueue(req, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(req, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(req, 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if p := s.Pending(); p != 2 {
+		t.Fatalf("pending = %d, want 2", p)
+	}
+
+	// A running job still counts against the cap: dequeuing must not open
+	// a slot until the job reaches a terminal state.
+	j, _, err := s.Dequeue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(req, 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("running job freed a pending slot: err = %v", err)
+	}
+	if err := s.MarkDone(j.ID, j.Attempts, json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(req, 1); err != nil {
+		t.Fatalf("slot not reclaimed after completion: %v", err)
+	}
+}
+
+func TestMaxPendingSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxPending: 1})
+	if _, err := s.Enqueue(json.RawMessage(`{}`), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered queued job fills the cap in the next process too.
+	s2 := open(t, dir, Options{MaxPending: 1})
+	if _, err := s2.Enqueue(json.RawMessage(`{}`), 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull after recovery", err)
+	}
+}

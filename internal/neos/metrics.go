@@ -15,6 +15,9 @@ type Metrics struct {
 		Recovered  int            `json:"recovered"`
 	} `json:"jobs"`
 	Solves SolveStats `json:"solves"`
+	// Overload describes the protection stack (breaker state, shed and
+	// brownout counters); nil/omitted when overload protection is off.
+	Overload *OverloadMetrics `json:"overload,omitempty"`
 }
 
 // SolveStats summarizes solver invocations (cache hits never reach the

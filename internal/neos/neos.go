@@ -10,8 +10,10 @@
 //	POST /submit         — enqueue a durable job, returns {"id": ...}
 //	GET  /result?id=...  — poll a submitted job
 //	GET  /jobs           — list jobs (optional ?status= filter)
-//	GET  /metrics        — cache/queue/latency instrumentation
-//	GET  /health         — liveness probe
+//	GET  /metrics        — cache/queue/latency/overload instrumentation
+//	GET  /health         — liveness probe (200 while the process is up)
+//	GET  /ready          — readiness probe (503 when draining, saturated,
+//	                       or the solver circuit breaker is open)
 //
 // The server de-duplicates work through a content-addressed solve cache
 // (internal/solvecache) keyed on the canonical form of the AMPL model, and
@@ -44,6 +46,12 @@ type SolveRequest struct {
 	MaxNodes int `json:"max_nodes,omitempty"`
 	// RelGap is the relative optimality gap (0 = exact).
 	RelGap float64 `json:"rel_gap,omitempty"`
+	// TimeoutMs is the client's deadline for this request in milliseconds,
+	// capped by the server's SolveTimeout (0 = server default). On /solve
+	// an X-Request-Deadline-Ms header takes precedence. Deliberately
+	// outside the cache key: results that depend on the budget (status
+	// "deadline") are never cached.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // SolveResponse is the JSON result of a solve.
@@ -53,6 +61,10 @@ type SolveResponse struct {
 	Variables map[string]float64 `json:"variables,omitempty"`
 	Nodes     int                `json:"nodes"`
 	Error     string             `json:"error,omitempty"`
+	// Quality is "degraded" when the answer came from the brownout rung of
+	// the overload ladder — a best-effort rounding incumbent, not a
+	// certified optimum — and empty for full-quality answers.
+	Quality string `json:"quality,omitempty"`
 }
 
 // JobStatus is the lifecycle state of an async job.

@@ -1,0 +1,157 @@
+package neos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosOverload4x is the overload acceptance scenario: a fixed-seed
+// request mix (easy models, pathological models, invalid requests, async
+// submissions, tight client deadlines) offered at 4× the server's solver
+// capacity. Every request must reach exactly one terminal outcome — a
+// full-quality answer, a degraded brownout answer, an accepted job, a 429
+// with Retry-After, or a 400 — and the server must come back to its
+// baseline goroutine count afterwards: no leaks, no hung queue entries.
+// Run under -race by `make race`/`make verify`.
+func TestChaosOverload4x(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s, hs, _ := newServerWith(t, Config{
+		MaxConcurrent:  2,
+		SolveTimeout:   300 * time.Millisecond,
+		JobTimeout:     2 * time.Second,
+		MaxPendingJobs: 3,
+		Overload: OverloadConfig{
+			Enabled:          true,
+			MaxQueue:         2,
+			BreakerThreshold: 3,
+			BreakerCooldown:  300 * time.Millisecond,
+			DegradedTimeout:  50 * time.Millisecond,
+		},
+	})
+
+	const workers = 8 // 4× the 2 solver slots
+	const perWorker = 10
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var full, degraded, accepted, shed, badRequest, other atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w))) // fixed seed per worker
+			for i := 0; i < perWorker; i++ {
+				id := w*perWorker + i
+				var (
+					path = "/solve"
+					body string
+					hdr  string
+				)
+				switch p := rng.Float64(); {
+				case p < 0.55:
+					body = fmt.Sprintf(`{"model":%q}`, uniqueEasyModel(id))
+				case p < 0.70:
+					body = fmt.Sprintf(`{"model":%q}`, uniquePathologicalModel(id))
+				case p < 0.80:
+					path = "/submit"
+					body = fmt.Sprintf(`{"model":%q}`, uniqueEasyModel(id))
+				case p < 0.90:
+					body = `{"model":"   "}` // empty model → 400
+				default:
+					body = fmt.Sprintf(`{"model":%q}`, uniqueEasyModel(id))
+					hdr = "20" // ms — tight but sometimes meetable
+				}
+				req, err := http.NewRequest(http.MethodPost, hs.URL+path, bytes.NewReader([]byte(body)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if hdr != "" {
+					req.Header.Set("X-Request-Deadline-Ms", hdr)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Errorf("request %d: transport error (no terminal outcome): %v", id, err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var out SolveResponse
+					if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+						t.Errorf("request %d: bad 200 body: %v", id, err)
+					} else if out.Quality == "degraded" {
+						degraded.Add(1)
+					} else {
+						full.Add(1)
+					}
+				case http.StatusAccepted:
+					accepted.Add(1)
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("request %d: 429 without Retry-After", id)
+					}
+					shed.Add(1)
+				case http.StatusBadRequest:
+					badRequest.Add(1)
+				default:
+					other.Add(1)
+					t.Errorf("request %d: unexpected status %d", id, resp.StatusCode)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := full.Load() + degraded.Load() + accepted.Load() + shed.Load() + badRequest.Load() + other.Load()
+	if total != workers*perWorker {
+		t.Fatalf("outcomes = %d, want exactly %d (one per request)", total, workers*perWorker)
+	}
+	if other.Load() != 0 {
+		t.Fatalf("%d requests ended in an unclassified outcome", other.Load())
+	}
+	if full.Load() == 0 {
+		t.Fatal("no full-quality answers under overload — goodput collapsed to zero")
+	}
+	if badRequest.Load() == 0 {
+		t.Fatal("fault plan produced no invalid requests; mix is broken")
+	}
+	t.Logf("outcomes: full=%d degraded=%d accepted=%d shed429=%d bad400=%d",
+		full.Load(), degraded.Load(), accepted.Load(), shed.Load(), badRequest.Load())
+
+	// The admission queue must be empty again and nothing may leak: close
+	// the server (drains workers; abandoned solves are bounded by
+	// SolveTimeout) and wait for the goroutine count to settle.
+	if n := s.guard.adm.QueueLen(); n != 0 {
+		t.Fatalf("admission queue still holds %d waiters after the storm", n)
+	}
+	hs.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -12,10 +12,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hslb/internal/ampl"
 	"hslb/internal/jobstore"
+	"hslb/internal/overload"
 	"hslb/internal/solvecache"
 )
 
@@ -61,6 +63,14 @@ type Config struct {
 	// solution, so responses cached at one worker count are valid at any
 	// other (default 1; requests using OuterApprox are unaffected).
 	SolveWorkers int
+	// MaxPendingJobs caps queued+running async jobs; /submit beyond it is
+	// rejected with 429 instead of growing the WAL without bound
+	// (0 = unlimited, the historical behavior).
+	MaxPendingJobs int
+	// Overload configures admission control, the solver circuit breaker
+	// and the brownout ladder. Disabled (the zero value) the serving
+	// paths are byte-identical to the unprotected server.
+	Overload OverloadConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +107,10 @@ type Server struct {
 	// cannot fork an unbounded number of solver goroutines.
 	sem  chan struct{}
 	hist *histogram
+	// guard is the overload-protection stack; nil when Overload.Enabled is
+	// false, leaving every path exactly as the unprotected server.
+	guard    *guard
+	draining atomic.Bool
 
 	quit      chan struct{}
 	wg        sync.WaitGroup
@@ -119,7 +133,10 @@ func NewServer(maxConcurrent int) *Server {
 // from cfg.DataDir and starting the worker pool.
 func NewServerWith(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	store, err := jobstore.Open(cfg.DataDir, jobstore.Options{Sync: cfg.SyncWAL})
+	store, err := jobstore.Open(cfg.DataDir, jobstore.Options{
+		Sync:       cfg.SyncWAL,
+		MaxPending: cfg.MaxPendingJobs,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +147,9 @@ func NewServerWith(cfg Config) (*Server, error) {
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		hist:  newHistogram(),
 		quit:  make(chan struct{}),
+	}
+	if cfg.Overload.Enabled {
+		s.guard = newGuard(cfg.Overload, cfg.MaxConcurrent)
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.wg.Add(1)
@@ -146,9 +166,15 @@ func NewServerWith(cfg Config) (*Server, error) {
 // at startup.
 func (s *Server) Recovered() int { return s.store.Recovered() }
 
+// BeginDrain flips the readiness probe to 503 so load balancers stop
+// routing here, without touching in-flight work. Call it before shutting
+// the HTTP listener down.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // Close drains the worker pool (in-flight solves finish; queued jobs stay
 // in the store for the next start) and closes the WAL.
 func (s *Server) Close() error {
+	s.BeginDrain()
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.quit)
@@ -161,9 +187,12 @@ func (s *Server) Close() error {
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// Liveness: 200 while the process is up, even when browning out —
+	// restarting an overloaded instance only makes the overload worse.
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/ready", s.handleReady)
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/submit", s.handleSubmit)
 	mux.HandleFunc("/result", s.handleResult)
@@ -191,10 +220,12 @@ func requestKey(req *SolveRequest) (string, *ampl.Result, error) {
 	return hex.EncodeToString(h.Sum(nil)), parsed, nil
 }
 
-// solveCached is the single solve path for both /solve and async jobs:
-// cache lookup, then singleflight-coalesced solver invocation, then cache
-// fill. Parse errors are returned uncached (status "error").
-func (s *Server) solveCached(req *SolveRequest) *SolveResponse {
+// solveCached is the solve path for async jobs and the unprotected sync
+// path: cache lookup, then singleflight-coalesced solver invocation, then
+// cache fill. Parse errors are returned uncached (status "error"). ctx may
+// carry the client's propagated deadline; the server-wide SolveTimeout is
+// applied on top inside solveFlight.
+func (s *Server) solveCached(ctx context.Context, req *SolveRequest) *SolveResponse {
 	key, parsed, err := requestKey(req)
 	if err != nil {
 		return &SolveResponse{Status: "error", Error: err.Error()}
@@ -202,18 +233,30 @@ func (s *Server) solveCached(req *SolveRequest) *SolveResponse {
 	if resp, ok := s.cache.Get(key); ok {
 		return resp
 	}
+	return s.solveFlight(ctx, key, parsed, req)
+}
+
+// solveFlight runs the singleflight-coalesced solver invocation and fills
+// the cache. Coalesced followers share the leader's budget: a follower
+// with a longer deadline may receive a "deadline" answer early, which is
+// safe because deadline results are never cached.
+func (s *Server) solveFlight(ctx context.Context, key string, parsed *ampl.Result, req *SolveRequest) *SolveResponse {
 	resp, _, _ := s.flight.Do(key, func() (*SolveResponse, error) {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
-		ctx := context.Background()
+		sctx := ctx
 		if s.cfg.SolveTimeout > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+			sctx, cancel = context.WithTimeout(sctx, s.cfg.SolveTimeout)
 			defer cancel()
 		}
 		start := time.Now()
-		resp := solveParsedContext(ctx, parsed, req, s.cfg.SolveWorkers)
-		s.hist.observe(time.Since(start).Seconds())
+		resp := solveParsedContext(sctx, parsed, req, s.cfg.SolveWorkers)
+		elapsed := time.Since(start)
+		s.hist.observe(elapsed.Seconds())
+		if s.guard != nil {
+			s.guard.recordSolve(resp, elapsed, s.cfg.SolveTimeout)
+		}
 		// Solves are deterministic, so every terminal status (optimal,
 		// infeasible, node-limit) is cacheable; "error" is not, to keep
 		// transient conditions from sticking, and "deadline" is not,
@@ -226,12 +269,96 @@ func (s *Server) solveCached(req *SolveRequest) *SolveResponse {
 	return resp
 }
 
+// requestBudget extracts the client's propagated deadline: the
+// X-Request-Deadline-Ms header when present, else the request's
+// timeout_ms field (0 = none). The server-wide SolveTimeout still caps the
+// actual solve.
+func requestBudget(r *http.Request, req *SolveRequest) (time.Duration, error) {
+	if h := r.Header.Get("X-Request-Deadline-Ms"); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return 0, fmt.Errorf("bad X-Request-Deadline-Ms %q", h)
+		}
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	if req.TimeoutMs > 0 {
+		return time.Duration(req.TimeoutMs) * time.Millisecond, nil
+	}
+	return 0, nil
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.solveCached(req))
+	budget, err := requestBudget(r, req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The budget context derives from Background, not r.Context(): a
+	// coalesced solve must not die with one disconnecting client.
+	ctx := context.Background()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	g := s.guard
+	if g == nil {
+		writeJSON(w, http.StatusOK, s.solveCached(ctx, req))
+		return
+	}
+	key, parsed, err := requestKey(req)
+	if err != nil {
+		writeJSON(w, http.StatusOK, &SolveResponse{Status: "error", Error: err.Error()})
+		return
+	}
+	// Cache hits are free and always served, whatever the overload state.
+	if resp, ok := s.cache.Get(key); ok {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if !g.brk.Allow() {
+		s.brownout(w, key, parsed, req, "circuit breaker open", &g.shedBreaker)
+		return
+	}
+	release, err := g.adm.Acquire(ctx)
+	switch {
+	case errors.Is(err, overload.ErrSaturated):
+		s.brownout(w, key, parsed, req, "solve queue full", &g.shedQueue)
+		return
+	case err != nil:
+		// The propagated deadline cannot be met given the observed solve
+		// latency and queue depth: shed now, before burning a core.
+		s.shed(w, "deadline cannot be met")
+		return
+	}
+	defer release()
+	writeJSON(w, http.StatusOK, s.solveFlight(ctx, key, parsed, req))
+}
+
+// handleReady is the readiness probe: 503 while draining, while the
+// breaker is open, or while the admission queue is saturated, so load
+// balancers stop routing to a browning-out instance. Liveness (/health)
+// stays 200 throughout.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if g := s.guard; g != nil {
+		if g.brk.State() == overload.Open {
+			http.Error(w, "circuit breaker open", http.StatusServiceUnavailable)
+			return
+		}
+		if g.adm.Saturated() {
+			http.Error(w, "solve queue saturated", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -245,6 +372,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.store.Enqueue(payload, s.cfg.MaxAttempts)
+	if errors.Is(err, jobstore.ErrQueueFull) {
+		if g := s.guard; g != nil {
+			g.shedJobs.Add(1)
+		}
+		s.shed(w, "job queue full")
+		return
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -339,10 +473,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for st, n := range counts {
 		m.Jobs.Counts[string(st)] = n
 	}
+	m.Overload = s.overloadMetrics()
 	writeJSON(w, http.StatusOK, m)
 }
 
 // worker pulls jobs off the durable queue and executes them until Close.
+// With the breaker open it idles instead of dequeuing, so a pathological
+// model class stops consuming attempts and cores on the async path too.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -350,6 +487,14 @@ func (s *Server) worker() {
 		case <-s.quit:
 			return
 		default:
+		}
+		if g := s.guard; g != nil && !g.brk.Allow() {
+			select {
+			case <-s.quit:
+				return
+			case <-time.After(g.breakerPoll()):
+			}
+			continue
 		}
 		job, wait, err := s.store.Dequeue()
 		if err != nil || job == nil {
@@ -380,8 +525,20 @@ func (s *Server) runJob(job *jobstore.Job) {
 		_ = s.store.MarkFailed(job.ID, job.Attempts, "corrupt request: "+err.Error())
 		return
 	}
+	// Propagate the job's own deadline, capped by SolveTimeout inside the
+	// flight. cancel fires when the (possibly abandoned) solve finishes,
+	// not when runJob returns — an abandoned attempt may still warm the
+	// cache for the retry.
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if req.TimeoutMs > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+	}
 	done := make(chan *SolveResponse, 1)
-	go func() { done <- s.solveCached(&req) }()
+	go func() {
+		defer cancel()
+		done <- s.solveCached(ctx, &req)
+	}()
 	var timeout <-chan time.Time
 	if s.cfg.JobTimeout > 0 {
 		timeout = time.After(s.cfg.JobTimeout)
