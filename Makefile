@@ -6,15 +6,19 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race chaos bench load
+.PHONY: verify build test vet fmt race chaos bench load fsck
 
-verify: build vet test race load
+verify: build vet fmt test race load fsck
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -43,6 +47,15 @@ chaos:
 # results are not identical to sequential.
 bench:
 	$(GO) run ./cmd/hslbbench -o BENCH_parallel.json
+
+# Result-store integrity: run a small fixed-seed campaign into a scratch
+# store, then fsck it — an end-to-end walk of the content-addressed chunk
+# tree that fails on any hash mismatch or missing chunk.
+fsck:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/hslb -nodes 64 -points 4 -repeats 1 \
+		-store-dir "$$dir" -campaign verify >/dev/null && \
+	$(GO) run ./cmd/hslb fsck -store-dir "$$dir"
 
 # Overload acceptance: a closed-loop generator measures peak goodput at
 # solver capacity, then storms the protected server at 4x capacity with

@@ -10,6 +10,15 @@
 //	hslb -objective min-sum                   # alternative objective
 //	hslb -res 1deg -nodes 512 -advise         # §IV-C node-count advice
 //	hslb -res 1deg -nodes 128 -pelayout       # also emit env_mach_pes XML
+//
+// With -store-dir the run is committed into the content-addressed result
+// store as campaign/<id>, and the store subcommands inspect the history:
+//
+//	hslb -nodes 128 -store-dir /var/hslb -campaign base
+//	hslb -nodes 128 -store-dir /var/hslb -campaign slow-ocn -truth-scale ocn=1.5
+//	hslb log  -store-dir /var/hslb                 # list keys / history
+//	hslb diff -store-dir /var/hslb base slow-ocn   # explain the change
+//	hslb fsck -store-dir /var/hslb                 # verify integrity
 package main
 
 import (
@@ -22,13 +31,31 @@ import (
 	"hslb/internal/core"
 	"hslb/internal/perf"
 	"hslb/internal/report"
+	"hslb/internal/resultstore"
 )
 
 func main() {
-	if err := run(); err != nil {
+	err := dispatch()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hslb:", err)
 		os.Exit(1)
 	}
+}
+
+// dispatch routes the store subcommands (log, diff, fsck) and falls
+// through to the pipeline for everything else.
+func dispatch() error {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "log":
+			return runLog(os.Args[2:])
+		case "diff":
+			return runDiff(os.Args[2:])
+		case "fsck":
+			return runFsck(os.Args[2:])
+		}
+	}
+	return run()
 }
 
 func run() error {
@@ -45,6 +72,9 @@ func run() error {
 	pelayout := flag.Bool("pelayout", false, "also print the env_mach_pes-style XML for the chosen allocation")
 	advise := flag.Bool("advise", false, "sweep machine sizes and advise a node count (§IV-C) instead of optimizing one size")
 	effThreshold := flag.Float64("eff", 0.7, "parallel-efficiency threshold for -advise")
+	storeDir := flag.String("store-dir", "", "result store directory; the run is committed under campaign/<id> (see also: hslb log, diff, fsck)")
+	campaignID := flag.String("campaign", "", "campaign ID for the result-store commit (default run-<seed>-<nodes>)")
+	truthScaleFlag := flag.String("truth-scale", "", "perturb the machine's ground-truth times, e.g. ocn=1.5,atm=0.9")
 	flag.Parse()
 
 	res, err := parseResolution(*resFlag)
@@ -60,12 +90,32 @@ func run() error {
 		return err
 	}
 
+	truthScale, err := parseTruthScale(*truthScaleFlag)
+	if err != nil {
+		return err
+	}
+
 	minN, maxN := 32, 2048
 	if res == cesm.Res8thDeg {
 		minN, maxN = 1024, 32768
 	}
 	if *nodes > maxN {
 		maxN = *nodes
+	}
+
+	var rs *resultstore.Store
+	id := *campaignID
+	if *storeDir != "" {
+		rs, err = openStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer rs.Close()
+		if id == "" {
+			id = fmt.Sprintf("run-%d-%d", *seed, *nodes)
+		}
+	} else if id != "" {
+		return fmt.Errorf("-campaign requires -store-dir")
 	}
 
 	po := core.PipelineOptions{
@@ -75,6 +125,9 @@ func run() error {
 			NodeCounts: perf.SamplingPlan(minN, maxN, *points),
 			Repeats:    *repeats,
 			Seed:       *seed,
+			TruthScale: truthScale,
+			Results:    rs,
+			CampaignID: id,
 		},
 		Spec: core.Spec{
 			Resolution:     res,
@@ -137,6 +190,18 @@ func run() error {
 		if err := pl.WriteXML(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if rs != nil {
+		rec, err := campaignRecord(id, po, pr)
+		if err != nil {
+			return err
+		}
+		c, err := commitCampaign(rs, rec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ncommitted campaign %s as %s (seq %d); compare runs with: hslb diff -store-dir %s <from> %s\n",
+			id, shortHash(c.Hash), c.Seq, *storeDir, id)
 	}
 	return nil
 }

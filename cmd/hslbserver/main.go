@@ -61,19 +61,25 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long a tripped breaker rests before half-open probes")
 	breakerProbe := flag.Float64("breaker-probe", 0.25, "fraction of half-open requests allowed through as probes")
 	degradedTimeout := flag.Duration("degraded-timeout", 250*time.Millisecond, "budget of the brownout rung's quick rounding solve (<0 disables the rung)")
+	storeDir := flag.String("store-dir", "", "directory of the content-addressed result store (empty = disabled)")
+	cachePersist := flag.Bool("cache-persist", false, "persist solve-cache fills to -store-dir and warm the cache from it at startup")
+	storeHistory := flag.Int("store-history", 0, "commits of history retained per store key by GC (0 = unbounded)")
 	flag.Parse()
 
 	srv, err := neos.NewServerWith(neos.Config{
-		MaxConcurrent:  *concurrency,
-		CacheSize:      *cacheSize,
-		DataDir:        *dataDir,
-		SyncWAL:        *syncWAL,
-		JobTimeout:     *jobTimeout,
-		MaxAttempts:    *maxAttempts,
-		JobTTL:         *jobTTL,
-		SolveTimeout:   *solveTimeout,
-		SolveWorkers:   *solveWorkers,
-		MaxPendingJobs: *maxPendingJobs,
+		MaxConcurrent:    *concurrency,
+		CacheSize:        *cacheSize,
+		DataDir:          *dataDir,
+		SyncWAL:          *syncWAL,
+		JobTimeout:       *jobTimeout,
+		MaxAttempts:      *maxAttempts,
+		JobTTL:           *jobTTL,
+		SolveTimeout:     *solveTimeout,
+		SolveWorkers:     *solveWorkers,
+		MaxPendingJobs:   *maxPendingJobs,
+		StoreDir:         *storeDir,
+		CachePersist:     *cachePersist,
+		StoreKeepHistory: *storeHistory,
 		Overload: neos.OverloadConfig{
 			Enabled:          *overloadOn,
 			MaxQueue:         *maxQueue,

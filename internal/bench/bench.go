@@ -11,6 +11,7 @@ import (
 
 	"hslb/internal/cesm"
 	"hslb/internal/perf"
+	"hslb/internal/resultstore"
 )
 
 // Campaign describes a benchmark data-gathering campaign: D short (5-day)
@@ -58,6 +59,18 @@ type Campaign struct {
 	// runtime.GOMAXPROCS(0); 1 preserves the strictly sequential
 	// execution order of the historical runner.
 	Workers int
+	// TruthScale perturbs the machine's ground-truth component times (see
+	// cesm.Config.TruthScale): every run of the campaign evaluates the
+	// scaled truth, so the gathered samples — and everything fitted from
+	// them — reflect the changed machine.
+	TruthScale map[cesm.Component]float64
+	// Results, if non-nil, records the campaign in the versioned result
+	// store: the evolving gather document is committed under
+	// "gather/<CampaignID>" at every checkpoint boundary (each completed
+	// run) and once more, marked complete, when the campaign finishes.
+	// CampaignID must be non-empty for commits to happen.
+	Results    *resultstore.Store
+	CampaignID string
 	// RunLatency, if > 0, is simulated machine wall-clock added to every
 	// run attempt (context-aware, so hangs, timeouts and cancellation
 	// behave as before). The simulator evaluates a 5-day benchmark in

@@ -255,24 +255,36 @@ func (c Campaign) RunContext(ctx context.Context) (*Data, *FailureReport, error)
 	runCtx, cancelRuns := context.WithCancel(ctx)
 	defer cancelRuns()
 
-	// All checkpoint appends funnel through this one goroutine; the file
-	// handle is never written concurrently.
+	// All checkpoint appends and result-store commits funnel through this
+	// one goroutine; neither the file handle nor the store head is written
+	// concurrently.
 	var (
 		ckCh   chan ckEntry
 		ckDone chan error
 	)
-	if ck != nil {
+	if ck != nil || c.recordsResults() {
 		ckCh = make(chan ckEntry, workers)
 		ckDone = make(chan error, 1)
 		go func() {
 			var werr error
+			var committed []ckEntry
 			for e := range ckCh {
 				if werr != nil {
 					continue // drain; first error already cancelled the runs
 				}
-				if err := ck.append(e); err != nil {
-					werr = err
-					cancelRuns()
+				if ck != nil {
+					if err := ck.append(e); err != nil {
+						werr = err
+						cancelRuns()
+						continue
+					}
+				}
+				if c.recordsResults() {
+					committed = append(committed, e)
+					if err := c.commitGather(committed, repeats, false); err != nil {
+						werr = err
+						cancelRuns()
+					}
 				}
 			}
 			ckDone <- werr
@@ -377,6 +389,23 @@ func (c Campaign) RunContext(ctx context.Context) (*Data, *FailureReport, error)
 		s := data.Samples[comp]
 		sort.Slice(s, func(i, j int) bool { return s[i].Nodes < s[j].Nodes })
 	}
+	if c.recordsResults() {
+		// Final commit: every run (resumed and fresh) in plan order, marked
+		// complete. Identical reruns of the same plan commit an identical
+		// document, which the store records as a no-op.
+		var all []ckEntry
+		for i, t := range tasks {
+			switch {
+			case t.resumed != nil:
+				all = append(all, *t.resumed)
+			case outcomes[i].tm != nil:
+				all = append(all, entryOf(t.total, t.rep, t.a, outcomes[i].tm))
+			}
+		}
+		if err := c.commitGather(all, repeats, true); err != nil {
+			return nil, nil, err
+		}
+	}
 	return data, report, nil
 }
 
@@ -397,6 +426,7 @@ func (c Campaign) gatherOne(ctx context.Context, total, rep int, a cesm.Allocati
 			Seed:       seed,
 			Faults:     c.Faults,
 		}
+		c.truthScaleConfig(&cfg)
 		actx := ctx
 		cancel := func() {}
 		if retry.RunTimeout > 0 {

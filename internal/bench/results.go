@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"hslb/internal/cesm"
+	"hslb/internal/resultstore"
+)
+
+// Result-store integration: a campaign with Results set commits its
+// gather document — the plan header plus every completed run — under
+// "gather/<CampaignID>". Intermediate commits happen at checkpoint
+// boundaries (each completed run), so a crashed campaign leaves a usable
+// history; the final commit carries complete=true and a deterministic,
+// plan-ordered entry list. Successive versions share most of their
+// chunks in the content-addressed store, so the history costs far less
+// than runs × document size.
+
+// GatherDoc is the committed form of a campaign's gathered data.
+type GatherDoc struct {
+	Resolution string             `json:"resolution"`
+	Layout     int                `json:"layout"`
+	Seed       int64              `json:"seed"`
+	Repeats    int                `json:"repeats"`
+	NodeCounts []int              `json:"node_counts"`
+	TruthScale map[string]float64 `json:"truth_scale,omitempty"`
+	Entries    []ckEntry          `json:"entries"`
+	Complete   bool               `json:"complete"`
+}
+
+// GatherKey is the result-store key of a campaign's gather history.
+func GatherKey(campaignID string) string { return "gather/" + campaignID }
+
+func (c Campaign) recordsResults() bool {
+	return c.Results != nil && c.CampaignID != ""
+}
+
+// gatherDoc assembles the committed document from the entries completed
+// so far, sorted into plan order so the document is independent of
+// worker scheduling.
+func (c Campaign) gatherDoc(entries []ckEntry, repeats int, complete bool) GatherDoc {
+	sorted := append([]ckEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Total != sorted[j].Total {
+			return sorted[i].Total < sorted[j].Total
+		}
+		return sorted[i].Rep < sorted[j].Rep
+	})
+	doc := GatherDoc{
+		Resolution: c.Resolution.String(),
+		Layout:     int(c.Layout),
+		Seed:       c.Seed,
+		Repeats:    repeats,
+		NodeCounts: append([]int(nil), c.NodeCounts...),
+		Entries:    sorted,
+		Complete:   complete,
+	}
+	if len(c.TruthScale) > 0 {
+		doc.TruthScale = map[string]float64{}
+		for comp, f := range c.TruthScale {
+			doc.TruthScale[comp.String()] = f
+		}
+	}
+	return doc
+}
+
+// commitGather commits one version of the gather document.
+func (c Campaign) commitGather(entries []ckEntry, repeats int, complete bool) error {
+	doc := c.gatherDoc(entries, repeats, complete)
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("bench: encode gather doc: %w", err)
+	}
+	meta := map[string]string{
+		"runs":     strconv.Itoa(len(entries)),
+		"complete": strconv.FormatBool(complete),
+	}
+	if _, err := c.Results.Commit(GatherKey(c.CampaignID), b, meta); err != nil {
+		return fmt.Errorf("bench: commit gather doc: %w", err)
+	}
+	return nil
+}
+
+// LoadGather reads the head gather document of a campaign back from the
+// result store.
+func LoadGather(rs *resultstore.Store, campaignID string) (GatherDoc, error) {
+	b, _, err := rs.HeadValue(GatherKey(campaignID))
+	if err != nil {
+		return GatherDoc{}, err
+	}
+	var doc GatherDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return GatherDoc{}, fmt.Errorf("bench: decode gather doc: %w", err)
+	}
+	return doc, nil
+}
+
+// truthScaleConfig copies the campaign's truth perturbation into a run
+// config.
+func (c Campaign) truthScaleConfig(cfg *cesm.Config) {
+	if len(c.TruthScale) == 0 {
+		return
+	}
+	cfg.TruthScale = c.TruthScale
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"testing"
+
+	"hslb/internal/cesm"
+	"hslb/internal/resultstore"
+)
+
+func openResults(t *testing.T) *resultstore.Store {
+	t.Helper()
+	rs, err := resultstore.Open(t.TempDir(), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+	return rs
+}
+
+func TestCampaignCommitsGatherHistory(t *testing.T) {
+	rs := openResults(t)
+	c := Campaign{
+		Resolution: cesm.Res1Deg,
+		Layout:     cesm.Layout1,
+		NodeCounts: []int{128, 256, 512, 1024},
+		Seed:       11,
+		Results:    rs,
+		CampaignID: "cam-a",
+		Workers:    1,
+	}
+	data, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := LoadGather(rs, "cam-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Complete {
+		t.Fatal("head gather doc not marked complete")
+	}
+	if len(doc.Entries) != data.Runs {
+		t.Fatalf("committed %d entries, campaign ran %d", len(doc.Entries), data.Runs)
+	}
+	for i := 1; i < len(doc.Entries); i++ {
+		a, b := doc.Entries[i-1], doc.Entries[i]
+		if a.Total > b.Total || (a.Total == b.Total && a.Rep >= b.Rep) {
+			t.Fatalf("entries not in plan order: %+v before %+v", a, b)
+		}
+	}
+
+	// One intermediate commit per run plus the final complete commit.
+	log, err := rs.Log(GatherKey("cam-a"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != data.Runs+1 {
+		t.Fatalf("history has %d commits, want %d", len(log), data.Runs+1)
+	}
+	if log[0].Meta["complete"] != "true" {
+		t.Fatalf("head meta = %v", log[0].Meta)
+	}
+
+	// Rerunning the identical plan commits identical documents: every value
+	// chunk dedups against history, so only fresh commit metadata (new
+	// parent pointers) hits the disk.
+	before := rs.Stats()
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	after := rs.Stats()
+	newBytes := after.NewBytes - before.NewBytes
+	logical := after.LogicalBytes - before.LogicalBytes
+	if after.DedupHits <= before.DedupHits {
+		t.Fatal("identical rerun produced no dedup hits")
+	}
+	if newBytes*2 > logical {
+		t.Fatalf("identical rerun stored %d of %d logical bytes; expected heavy dedup", newBytes, logical)
+	}
+}
+
+func TestCampaignTruthScalePerturbsSamples(t *testing.T) {
+	base := Campaign{
+		Resolution: cesm.Res1Deg,
+		Layout:     cesm.Layout1,
+		NodeCounts: []int{128, 256, 512, 1024},
+		Seed:       11,
+	}
+	scaled := base
+	scaled.TruthScale = map[cesm.Component]float64{cesm.OCN: 1.5}
+
+	d0, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := scaled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range d1.Samples[cesm.OCN] {
+		want := d0.Samples[cesm.OCN][i].Time * 1.5
+		if diff := s.Time - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("scaled ocn sample %d = %v, want %v", i, s.Time, want)
+		}
+	}
+	for i, s := range d1.Samples[cesm.ATM] {
+		if s.Time != d0.Samples[cesm.ATM][i].Time {
+			t.Fatalf("atm sample %d changed without a scale", i)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package cas
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTest(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := openTest(t, Options{ChunkSize: 128})
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 127, 128, 129, 1000, 128 * 50} {
+		data := make([]byte, n)
+		rng.Read(data)
+		h, err := s.Put(data)
+		if err != nil {
+			t.Fatalf("Put(%d bytes): %v", n, err)
+		}
+		got, err := s.Get(h)
+		if err != nil {
+			t.Fatalf("Get(%d bytes): %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("roundtrip mismatch at %d bytes", n)
+		}
+	}
+}
+
+func TestAddressesAreStable(t *testing.T) {
+	a := openTest(t, Options{ChunkSize: 128})
+	b := openTest(t, Options{ChunkSize: 128})
+	data := bytes.Repeat([]byte("hslb"), 200)
+	ha, _ := a.Put(data)
+	hb, _ := b.Put(data)
+	if ha != hb {
+		t.Fatalf("same value, different addresses: %s vs %s", ha, hb)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	s := openTest(t, Options{ChunkSize: 128})
+	data := bytes.Repeat([]byte("x"), 1000)
+	h1, _ := s.Put(data)
+	st1 := s.Stats()
+	h2, _ := s.Put(data)
+	st2 := s.Stats()
+	if h1 != h2 {
+		t.Fatal("identical values got different addresses")
+	}
+	if st2.Chunks != st1.Chunks || st2.NewBytes != st1.NewBytes {
+		t.Fatalf("second Put grew the store: %+v -> %+v", st1, st2)
+	}
+	if st2.DedupHits <= st1.DedupHits {
+		t.Fatal("dedup hits did not increase")
+	}
+	if st2.DedupRatio() < 1.9 {
+		t.Fatalf("dedup ratio %.2f, want ~2", st2.DedupRatio())
+	}
+
+	// Append-like growth: a longer value sharing a prefix reuses the full
+	// prefix chunks.
+	grown := append(append([]byte{}, data...), bytes.Repeat([]byte("y"), 100)...)
+	before := s.Stats()
+	if _, err := s.Put(grown); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if newb := after.NewBytes - before.NewBytes; newb > int64(len(grown)/2) {
+		t.Fatalf("append-like Put wrote %d new bytes of %d", newb, len(grown))
+	}
+}
+
+func TestReopenFindsChunks(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("persist"), 100)
+	h, _ := s.Put(data)
+
+	s2, err := Open(dir, Options{ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(h)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("reopened Get = %v, %d bytes", err, len(got))
+	}
+}
+
+func TestPinUnpinGC(t *testing.T) {
+	s := openTest(t, Options{ChunkSize: 128})
+	keep, _ := s.Put(bytes.Repeat([]byte("keep"), 200))
+	drop, _ := s.Put(bytes.Repeat([]byte("drop"), 200))
+	if err := s.Pin(keep); err != nil {
+		t.Fatal(err)
+	}
+	n, freed, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || freed == 0 {
+		t.Fatal("GC reclaimed nothing")
+	}
+	if _, err := s.Get(keep); err != nil {
+		t.Fatalf("pinned value lost: %v", err)
+	}
+	if _, err := s.Get(drop); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unpinned value survived GC: %v", err)
+	}
+	if err := s.Unpin(keep); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Chunks != 0 {
+		t.Fatalf("store not empty after unpin+GC: %+v", s.Stats())
+	}
+}
+
+func TestGCKeepsSharedChunks(t *testing.T) {
+	s := openTest(t, Options{ChunkSize: 64})
+	shared := bytes.Repeat([]byte("s"), 64)
+	a, _ := s.Put(append(append([]byte{}, shared...), []byte("aaaa")...))
+	b, _ := s.Put(append(append([]byte{}, shared...), []byte("bbbb")...))
+	if err := s.Pin(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unpin(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(b); err != nil || !bytes.Equal(got[:64], shared) {
+		t.Fatalf("shared chunk collected while still referenced: %v", err)
+	}
+}
+
+func TestFsckCleanStore(t *testing.T) {
+	s := openTest(t, Options{ChunkSize: 128})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5; i++ {
+		data := make([]byte, 100+rng.Intn(2000))
+		rng.Read(data)
+		if _, err := s.Put(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean store reported corruption: %+v", rep.Corruption)
+	}
+	if rep.Chunks != s.Stats().Chunks {
+		t.Fatalf("fsck saw %d chunks, index has %d", rep.Chunks, s.Stats().Chunks)
+	}
+}
+
+// chunkFiles lists every chunk file under the store.
+func chunkFiles(t *testing.T, s *Store) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestCorruptionFuzz is the crash-consistency suite for the chunk store:
+// for a spread of deterministic corruptions (single bit flips at seeded
+// offsets, truncations, and whole-file zeroing) applied to every chunk
+// file in turn, Fsck must flag the store and Get must either return the
+// original value (the corrupted chunk was not on its path) or fail with
+// ErrCorrupt/ErrNotFound — never panic, never serve altered bytes.
+func TestCorruptionFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// makeStore builds byte-identical stores every call (its own fixed-seed
+	// rng), so chunk paths recorded from one build name the same chunks in a
+	// rebuilt store.
+	makeStore := func(t *testing.T) (*Store, []Hash, [][]byte) {
+		s, err := Open(t.TempDir(), Options{ChunkSize: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		storeRNG := rand.New(rand.NewSource(7))
+		var roots []Hash
+		var values [][]byte
+		for i := 0; i < 3; i++ {
+			data := make([]byte, 50+i*500)
+			storeRNG.Read(data)
+			h, err := s.Put(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roots = append(roots, h)
+			values = append(values, data)
+		}
+		return s, roots, values
+	}
+
+	corruptions := []struct {
+		name  string
+		apply func(t *testing.T, path string, r *rand.Rand) bool
+	}{
+		{"bitflip", func(t *testing.T, path string, r *rand.Rand) bool {
+			b, err := os.ReadFile(path)
+			if err != nil || len(b) == 0 {
+				t.Fatalf("read %s: %v", path, err)
+			}
+			b[r.Intn(len(b))] ^= 1 << uint(r.Intn(8))
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return true
+		}},
+		{"truncate", func(t *testing.T, path string, r *rand.Rand) bool {
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Size() < 2 {
+				return false // truncating to 0 or below is the zero case
+			}
+			if err := os.Truncate(path, info.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+			return true
+		}},
+		{"zero", func(t *testing.T, path string, r *rand.Rand) bool {
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+			return true
+		}},
+	}
+
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			s, roots, values := makeStore(t)
+			files := chunkFiles(t, s)
+			if len(files) < 4 {
+				t.Fatalf("want a multi-chunk store, got %d files", len(files))
+			}
+			for _, victim := range files {
+				// Fresh store per victim so corruptions don't compound.
+				s, roots, values = makeStore(t)
+				files := chunkFiles(t, s)
+				var path string
+				for _, f := range files {
+					if filepath.Base(f) == filepath.Base(victim) {
+						path = f
+						break
+					}
+				}
+				if path == "" {
+					t.Fatalf("rebuilt store is missing chunk %s", victim)
+				}
+				if !c.apply(t, path, rng) {
+					continue
+				}
+				rep, err := s.Fsck()
+				if err != nil {
+					t.Fatalf("fsck errored (should report, not fail): %v", err)
+				}
+				if rep.OK() {
+					t.Fatalf("%s of %s undetected by fsck", c.name, path)
+				}
+				for i, root := range roots {
+					got, err := s.Get(root)
+					if err == nil {
+						if !bytes.Equal(got, values[i]) {
+							t.Fatalf("Get(%s) silently served altered bytes after %s", root, c.name)
+						}
+						continue
+					}
+					if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNotFound) {
+						t.Fatalf("Get(%s) = %v, want ErrCorrupt or ErrNotFound", root, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFsckReportsForeignFiles(t *testing.T) {
+	s := openTest(t, Options{})
+	if _, err := s.Put([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "stray.txt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("stray file not reported")
+	}
+}
+
+func TestParseHash(t *testing.T) {
+	h, err := s256("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ParseHash(h.String())
+	if err != nil || rt != h {
+		t.Fatalf("ParseHash roundtrip: %v", err)
+	}
+	for _, bad := range []string{"", "zz", h.String()[:10], h.String() + "00"} {
+		if _, err := ParseHash(bad); err == nil {
+			t.Errorf("ParseHash(%q) accepted", bad)
+		}
+	}
+}
+
+func s256(s string) (Hash, error) {
+	store, err := Open(os.TempDir()+"/cas-parse-test", Options{})
+	if err != nil {
+		return Hash{}, err
+	}
+	defer os.RemoveAll(store.Dir())
+	return store.Put([]byte(s))
+}

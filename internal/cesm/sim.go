@@ -74,6 +74,13 @@ type Config struct {
 	// outlier timings, corrupted timing logs) keyed on (Faults.Seed, Seed,
 	// TotalNodes). Nil injects nothing. See FaultPlan.
 	Faults *FaultPlan
+	// TruthScale multiplies a component's ground-truth time by a constant
+	// factor, simulating a machine or model change (a slower ocean build, a
+	// faster atmosphere). Missing components scale by 1. It perturbs the
+	// truth functions themselves, so two otherwise identical campaigns with
+	// different scales fit different models and land on different optima —
+	// the scenario `hslb diff` explains.
+	TruthScale map[Component]float64
 }
 
 // Timing is the outcome of a run: per-component times, the excluded
@@ -190,6 +197,9 @@ func ComposeTotal(l Layout, comp map[Component]float64) float64 {
 func componentTime(cfg Config, c Component, nodes int) float64 {
 	tr := groundTruth[cfg.Resolution][c]
 	base := tr.model.Eval(float64(nodes))
+	if f, ok := cfg.TruthScale[c]; ok && f > 0 {
+		base *= f
+	}
 	if c == ICE {
 		base *= iceDecompFactor(cfg.Resolution, nodes, cfg.IceDecomp)
 	}

@@ -18,6 +18,15 @@ import (
 // runs sequentially or with worker pools in both the gather and the tree
 // search.
 func TestChaosPipelineWorkersInvariant(t *testing.T) {
+	// Same budget scaling as TestChaosPipelineAcceptance: a legitimate run
+	// must never time out (or seq and par gathers diverge), and the solve
+	// must reach the optimum rather than a wall-clock-dependent incumbent.
+	runTimeout := 50 * time.Millisecond
+	solveTimeout := 30 * time.Second
+	if raceEnabled {
+		runTimeout = 2 * time.Second
+		solveTimeout = 10 * time.Minute
+	}
 	mk := func(workers int) PipelineOptions {
 		po := PipelineOptions{
 			Campaign: bench.Campaign{
@@ -35,7 +44,7 @@ func TestChaosPipelineWorkersInvariant(t *testing.T) {
 					MaxAttempts: 3,
 					BaseBackoff: time.Microsecond,
 					MaxBackoff:  10 * time.Microsecond,
-					RunTimeout:  50 * time.Millisecond,
+					RunTimeout:  runTimeout,
 				},
 				OutlierK: 4,
 			},
@@ -44,7 +53,7 @@ func TestChaosPipelineWorkersInvariant(t *testing.T) {
 				ConstrainOcean: true, ConstrainAtm: true,
 			},
 			ExecuteSeed:  99,
-			SolveTimeout: 30 * time.Second,
+			SolveTimeout: solveTimeout,
 		}
 		po.Solver = SolverOptions()
 		po.Solver.Algorithm = minlp.NLPBB
@@ -61,6 +70,12 @@ func TestChaosPipelineWorkersInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	if seq.Quality != nil && seq.Quality.SolveDeadline {
+		t.Fatalf("sequential solve hit its %v deadline; allocation is an incumbent", solveTimeout)
+	}
+	if par.Quality != nil && par.Quality.SolveDeadline {
+		t.Fatalf("parallel solve hit its %v deadline; allocation is an incumbent", solveTimeout)
+	}
 	if !reflect.DeepEqual(seq.Data, par.Data) {
 		t.Error("parallel gather changed the benchmark data")
 	}

@@ -44,16 +44,29 @@ func TestChaosPipelineAcceptance(t *testing.T) {
 		Seed: 2, CrashProb: 0.12, HangProb: 0.04, CorruptProb: 0.04,
 		OutlierProb: 0.08, OutlierScale: 5,
 	}
+	// The timeout only has to distinguish injected hangs (which block until
+	// the deadline) from legitimate runs (sub-millisecond); under the race
+	// detector a legitimate run on a loaded single-CPU machine can exceed
+	// 50ms, so the budget scales up to keep the fault ledger deterministic.
+	runTimeout := 50 * time.Millisecond
+	solveTimeout := 30 * time.Second
+	if raceEnabled {
+		runTimeout = 2 * time.Second
+		// The solve budget needs the same treatment: under the race detector
+		// the MINLP solve runs right at the 30s edge, and crossing it swaps
+		// the optimum for a deadline incumbent — a different allocation.
+		solveTimeout = 10 * time.Minute
+	}
 	chaotic := base
 	chaotic.Campaign.Faults = plan
 	chaotic.Campaign.Retry = bench.RetryPolicy{
 		MaxAttempts: 3,
 		BaseBackoff: time.Microsecond,
 		MaxBackoff:  10 * time.Microsecond,
-		RunTimeout:  50 * time.Millisecond,
+		RunTimeout:  runTimeout,
 	}
 	chaotic.Campaign.OutlierK = 4
-	chaotic.SolveTimeout = 30 * time.Second
+	chaotic.SolveTimeout = solveTimeout
 
 	res, err := RunPipeline(chaotic)
 	if err != nil {
@@ -61,6 +74,10 @@ func TestChaosPipelineAcceptance(t *testing.T) {
 	}
 	if res.Quality == nil || res.Quality.Gather == nil {
 		t.Fatal("pipeline lost the gather failure report")
+	}
+	if res.Quality.SolveDeadline {
+		t.Fatalf("chaotic solve hit its %v deadline; the allocation %v is an incumbent, not the optimum",
+			solveTimeout, res.Decision.Alloc)
 	}
 	rep := res.Quality.Gather
 

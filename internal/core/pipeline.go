@@ -199,13 +199,16 @@ func RunPipelineContext(ctx context.Context, po PipelineOptions) (*PipelineResul
 		return nil, err
 	}
 
-	// Step 4: execute.
+	// Step 4: execute. The campaign's truth perturbation applies here too —
+	// the validation run happens on the same (possibly changed) machine the
+	// benchmarks measured.
 	timing, err := cesm.RunContext(ctx, cesm.Config{
 		Resolution: spec.Resolution,
 		Layout:     spec.Layout,
 		TotalNodes: spec.TotalNodes,
 		Alloc:      dec.Alloc,
 		Seed:       po.ExecuteSeed,
+		TruthScale: po.Campaign.TruthScale,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: execute step: %w", err)

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation slows simulated runs by an order of
+// magnitude; timing-sensitive chaos budgets scale up to absorb it.
+const raceEnabled = true

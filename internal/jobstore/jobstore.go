@@ -88,7 +88,14 @@ type Store struct {
 	jobs    map[int64]*Job
 	nextID  int64
 	appends int
-	closed  bool
+	// records counts WAL records on disk (live + dead) and walBytes their
+	// size; dead records exceeding half the file trigger auto-compaction.
+	records  int
+	walBytes int64
+	// torn is set when replay found trailing bytes it could not parse (a
+	// crash mid-append); Open compacts to clear them.
+	torn   bool
+	closed bool
 	// ready is a capacity-1 signal that a job may be available to Dequeue.
 	ready chan struct{}
 	// recovered counts running→queued transitions performed at Open.
@@ -141,10 +148,16 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.f = f
 	s.w = bufio.NewWriter(f)
-	// Persist crash-recovery transitions and start from a compact log.
-	if err := s.compactLocked(); err != nil {
-		f.Close()
-		return nil, err
+	// Compact when the log needs it: crash-recovery transitions
+	// (running → queued) must be persisted, a torn tail must not precede
+	// fresh appends (replay stops at the first bad line), and a log more
+	// than half dead records is rewritten so restarts bound WAL growth
+	// instead of inheriting it.
+	if dead := s.records - len(s.jobs); s.recovered > 0 || s.torn || dead > s.records/2 {
+		if err := s.compactLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	for _, j := range s.jobs {
 		if j.Status == Queued {
@@ -166,19 +179,28 @@ func (s *Store) replay(path string) error {
 		return fmt.Errorf("jobstore: %w", err)
 	}
 	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("jobstore: replay: %w", err)
+	}
+	var validBytes int64
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
+			validBytes++ // the bare newline
 			continue
 		}
 		var rec record
 		if err := json.Unmarshal(line, &rec); err != nil {
 			// Torn tail from a crash mid-write; everything before it is
-			// intact, so stop here.
+			// intact, so stop here and let Open compact the tail away.
+			s.torn = true
 			break
 		}
+		validBytes += int64(len(line)) + 1
+		s.records++
 		switch rec.Op {
 		case "put":
 			if rec.Job != nil {
@@ -195,6 +217,10 @@ func (s *Store) replay(path string) error {
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("jobstore: replay: %w", err)
 	}
+	if validBytes != info.Size() {
+		s.torn = true
+	}
+	s.walBytes = validBytes
 	for _, j := range s.jobs {
 		if j.Status == Running {
 			j.Status = Queued
@@ -462,6 +488,15 @@ func (s *Store) EvictCompleted(ttl time.Duration) (int, error) {
 			n++
 		}
 	}
+	// Eviction writes tombstones but reclaims nothing; rewrite the log
+	// when it is now more than half dead records.
+	if n > 0 {
+		if dead := s.records - len(s.jobs); dead > s.records/2 {
+			if err := s.compactLocked(); err != nil {
+				return n, err
+			}
+		}
+	}
 	return n, nil
 }
 
@@ -504,6 +539,10 @@ func (s *Store) compactLocked() error {
 	if err := tf.Close(); err != nil {
 		return fmt.Errorf("jobstore: compact: %w", err)
 	}
+	size := int64(0)
+	if info, err := os.Stat(tmp); err == nil {
+		size = info.Size()
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("jobstore: compact: %w", err)
 	}
@@ -516,7 +555,25 @@ func (s *Store) compactLocked() error {
 	s.f = f
 	s.w = bufio.NewWriter(f)
 	s.appends = 0
+	s.records = len(s.jobs)
+	s.walBytes = size
+	s.torn = false
 	return nil
+}
+
+// WALSize returns the current write-ahead log size in bytes (0 for a
+// memory-only store).
+func (s *Store) WALSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walBytes
+}
+
+// Records returns the number of WAL records on disk, live and dead.
+func (s *Store) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
 }
 
 func (s *Store) sortedJobsLocked() []*Job {
@@ -549,6 +606,8 @@ func (s *Store) appendLocked(rec record) error {
 		}
 	}
 	s.appends++
+	s.records++
+	s.walBytes += int64(len(b))
 	if s.opts.CompactEvery > 0 && s.appends >= s.opts.CompactEvery && s.appends > 2*len(s.jobs) {
 		return s.compactLocked()
 	}

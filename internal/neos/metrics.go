@@ -13,11 +13,16 @@ type Metrics struct {
 		QueueDepth int            `json:"queue_depth"`
 		Counts     map[string]int `json:"counts"`
 		Recovered  int            `json:"recovered"`
+		// WALBytes is the job queue's write-ahead log size on disk.
+		WALBytes int64 `json:"wal_bytes"`
 	} `json:"jobs"`
 	Solves SolveStats `json:"solves"`
 	// Overload describes the protection stack (breaker state, shed and
 	// brownout counters); nil/omitted when overload protection is off.
 	Overload *OverloadMetrics `json:"overload,omitempty"`
+	// Store describes the result store (chunk counts, dedup ratio, warmed
+	// cache entries); nil/omitted without Config.StoreDir.
+	Store *StoreMetrics `json:"store,omitempty"`
 }
 
 // SolveStats summarizes solver invocations (cache hits never reach the

@@ -1,0 +1,162 @@
+package neos
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestCachePersistSurvivesRestart is the acceptance scenario: a restarted
+// server with -cache-persist answers a previously solved model from the
+// warmed cache, without invoking a solver.
+func TestCachePersistSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{MaxConcurrent: 2, StoreDir: dir, CachePersist: true}
+	ctx := context.Background()
+
+	s1, _, c1 := newServerWith(t, cfg)
+	first, err := c1.Solve(ctx, &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != "optimal" {
+		t.Fatalf("status = %q", first.Status)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _, c2 := newServerWith(t, cfg)
+	second, err := c2.Solve(ctx, &SolveRequest{Model: miniModelReformatted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Status != "optimal" || second.Objective != first.Objective {
+		t.Fatalf("restarted answer = %+v, want %+v", second, first)
+	}
+	m, err := c2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Count != 0 {
+		t.Fatalf("solver invoked %d times after restart; cache should have been warm", m.Solves.Count)
+	}
+	if m.Cache.Hits != 1 || m.Cache.Warmed != 1 {
+		t.Fatalf("cache stats after restart = %+v", m.Cache)
+	}
+	if m.Store == nil || m.Store.Keys != 1 || m.Store.Warmed != 1 {
+		t.Fatalf("store metrics = %+v", m.Store)
+	}
+	if m.Store.Chunks == 0 || m.Store.StoredBytes == 0 {
+		t.Fatalf("store metrics = %+v", m.Store)
+	}
+	_ = s2
+}
+
+func TestDeadlineAndDegradedNeverPersist(t *testing.T) {
+	rsDir := t.TempDir()
+	s, _, _ := newServerWith(t, Config{MaxConcurrent: 2, StoreDir: rsDir, CachePersist: true})
+	b := &cacheBackend{rs: s.Results()}
+	if err := b.Save("k1", &SolveResponse{Status: "deadline", Objective: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save("k2", &SolveResponse{Status: "optimal", Quality: "degraded", Objective: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save("k3", &SolveResponse{Status: "error", Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if keys := s.Results().KeysWithPrefix(solveKeyPrefix); len(keys) != 0 {
+		t.Fatalf("best-effort results persisted: %v", keys)
+	}
+	if err := b.Save("k4", &SolveResponse{Status: "optimal", Objective: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if keys := s.Results().KeysWithPrefix(solveKeyPrefix); len(keys) != 1 {
+		t.Fatalf("persisted keys = %v", keys)
+	}
+}
+
+func TestBlobAndHistoryEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, hs, c := newServerWith(t, Config{MaxConcurrent: 2, StoreDir: dir, CachePersist: true})
+	ctx := context.Background()
+	if _, err := c.Solve(ctx, &SolveRequest{Model: miniModel}); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := s.Results().KeysWithPrefix(solveKeyPrefix)
+	if len(keys) != 1 {
+		t.Fatalf("persisted keys = %v", keys)
+	}
+
+	// History of the solve key: one commit, hash + value address present.
+	resp, err := http.Get(hs.URL + "/history/" + keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []HistoryEntry
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(hist) != 1 || hist[0].Seq != 1 || hist[0].Hash == "" || hist[0].Value == "" {
+		t.Fatalf("history = %+v", hist)
+	}
+
+	// The value blob round-trips by content hash and parses as the response.
+	resp, err = http.Get(hs.URL + "/blob/" + hist[0].Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("blob status = %d: %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil || sr.Status != "optimal" {
+		t.Fatalf("blob payload = %q, %v", body, err)
+	}
+
+	// Unknown blob and key 404; a malformed hash is a 400.
+	for path, want := range map[string]int{
+		"/blob/" + string(make([]byte, 0)) + "0000000000000000000000000000000000000000000000000000000000000000": http.StatusNotFound,
+		"/history/no/such/key": http.StatusNotFound,
+		"/blob/zz":             http.StatusBadRequest,
+	} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestStoreEndpointsWithoutStore(t *testing.T) {
+	_, hs, _ := newServerWith(t, Config{MaxConcurrent: 1})
+	for _, path := range []string{
+		"/blob/0000000000000000000000000000000000000000000000000000000000000000",
+		"/history/solve/x",
+	} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d without a store", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestCachePersistRequiresStoreDir(t *testing.T) {
+	if _, err := NewServerWith(Config{CachePersist: true}); err == nil {
+		t.Fatal("CachePersist without StoreDir must fail")
+	}
+}

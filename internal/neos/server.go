@@ -18,6 +18,7 @@ import (
 	"hslb/internal/ampl"
 	"hslb/internal/jobstore"
 	"hslb/internal/overload"
+	"hslb/internal/resultstore"
 	"hslb/internal/solvecache"
 )
 
@@ -71,6 +72,16 @@ type Config struct {
 	// and the brownout ladder. Disabled (the zero value) the serving
 	// paths are byte-identical to the unprotected server.
 	Overload OverloadConfig
+	// StoreDir is the directory of the content-addressed result store;
+	// empty disables it (and the /blob, /history endpoints).
+	StoreDir string
+	// CachePersist writes solve-cache fills through to the result store
+	// and warms the cache from it at startup. Requires StoreDir.
+	// Deadline and degraded (brownout) answers are never persisted.
+	CachePersist bool
+	// StoreKeepHistory truncates each store key's history to its newest N
+	// commits during janitor garbage collection (0 keeps everything).
+	StoreKeepHistory int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +122,10 @@ type Server struct {
 	// false, leaving every path exactly as the unprotected server.
 	guard    *guard
 	draining atomic.Bool
+	// results is the versioned result store; nil without Config.StoreDir.
+	// warmed is how many cache entries Warm loaded from it at startup.
+	results *resultstore.Store
+	warmed  int
 
 	quit      chan struct{}
 	wg        sync.WaitGroup
@@ -151,6 +166,12 @@ func NewServerWith(cfg Config) (*Server, error) {
 	if cfg.Overload.Enabled {
 		s.guard = newGuard(cfg.Overload, cfg.MaxConcurrent)
 	}
+	warmed, err := s.openResults()
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.warmed = warmed
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -180,6 +201,11 @@ func (s *Server) Close() error {
 		close(s.quit)
 		s.wg.Wait()
 		err = s.store.Close()
+		if s.results != nil {
+			if rerr := s.results.Close(); err == nil {
+				err = rerr
+			}
+		}
 	})
 	return err
 }
@@ -198,6 +224,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/result", s.handleResult)
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /blob/{hash}", s.handleBlob)
+	mux.HandleFunc("GET /history/{key...}", s.handleHistory)
 	return mux
 }
 
@@ -469,11 +497,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	m.Jobs.QueueDepth = counts[jobstore.Queued]
 	m.Jobs.Recovered = s.store.Recovered()
+	m.Jobs.WALBytes = s.store.WALSize()
 	m.Jobs.Counts = map[string]int{}
 	for st, n := range counts {
 		m.Jobs.Counts[string(st)] = n
 	}
 	m.Overload = s.overloadMetrics()
+	m.Store = s.storeMetrics()
 	writeJSON(w, http.StatusOK, m)
 }
 
@@ -593,6 +623,9 @@ func (s *Server) janitor() {
 			return
 		case <-tick.C:
 			_, _ = s.store.EvictCompleted(s.cfg.JobTTL)
+			if s.results != nil && s.cfg.StoreKeepHistory > 0 {
+				_, _, _ = s.results.GC(s.cfg.StoreKeepHistory)
+			}
 		}
 	}
 }

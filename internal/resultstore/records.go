@@ -1,0 +1,301 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// This file defines the record schemas the HSLB pipeline commits into the
+// store and the structured diff between two committed campaigns — the
+// artifact `hslb diff` prints to explain *why* an allocation changed.
+// Components are keyed by name strings so the schemas stay decoupled from
+// the cesm package (resultstore sits below every pipeline layer).
+
+// FitParams is one component's fitted Table II model with its quality.
+type FitParams struct {
+	A  float64 `json:"a"`
+	B  float64 `json:"b"`
+	C  float64 `json:"c"`
+	D  float64 `json:"d"`
+	R2 float64 `json:"r2"`
+}
+
+// CampaignRecord is the committed outcome of one full pipeline run: the
+// fitted models, the solved allocation and its predictions, and the
+// digest of the MINLP model that produced it.
+type CampaignRecord struct {
+	ID         string `json:"id"`
+	Resolution string `json:"resolution"`
+	Layout     int    `json:"layout"`
+	TotalNodes int    `json:"total_nodes"`
+	Objective  string `json:"objective"`
+	Seed       int64  `json:"seed"`
+
+	// ObjectiveSeconds is the predicted total time of the decision.
+	ObjectiveSeconds float64 `json:"objective_seconds"`
+	// ActualSeconds is the measured total of the validation run (step 4).
+	ActualSeconds float64 `json:"actual_seconds,omitempty"`
+	// Nodes and Threads are the per-component allocation (threads =
+	// nodes × cores per node on the simulated machine).
+	Nodes   map[string]int `json:"nodes"`
+	Threads map[string]int `json:"threads"`
+	// PredictedComp is the per-component predicted time at the allocation.
+	PredictedComp map[string]float64 `json:"predicted_comp,omitempty"`
+	// Fits are the per-component fitted performance models.
+	Fits map[string]FitParams `json:"fits"`
+	// ModelDigest is the ampl.Canonical SHA-256 of the generated MINLP
+	// model text — two campaigns optimizing the same mathematical model
+	// share a digest even if flag spellings differ.
+	ModelDigest string `json:"model_digest"`
+	// SolvePath names the degradation-ladder rung that answered.
+	SolvePath string `json:"solve_path,omitempty"`
+	// TruthScale records deliberate truth-function perturbation, when any.
+	TruthScale map[string]float64 `json:"truth_scale,omitempty"`
+}
+
+// EncodeCampaign marshals a record for committing.
+func EncodeCampaign(r CampaignRecord) ([]byte, error) {
+	return json.MarshalIndent(r, "", " ")
+}
+
+// DecodeCampaign unmarshals a committed campaign value.
+func DecodeCampaign(b []byte) (CampaignRecord, error) {
+	var r CampaignRecord
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("resultstore: decode campaign: %w", err)
+	}
+	return r, nil
+}
+
+// ComponentDelta is one component's allocation change.
+type ComponentDelta struct {
+	Component   string  `json:"component"`
+	NodesFrom   int     `json:"nodes_from"`
+	NodesTo     int     `json:"nodes_to"`
+	ThreadsFrom int     `json:"threads_from"`
+	ThreadsTo   int     `json:"threads_to"`
+	TimeFrom    float64 `json:"time_from,omitempty"`
+	TimeTo      float64 `json:"time_to,omitempty"`
+}
+
+// FitDelta is one component's fit-parameter change.
+type FitDelta struct {
+	Component string    `json:"component"`
+	From      FitParams `json:"from"`
+	To        FitParams `json:"to"`
+}
+
+// CampaignDiff is the structured explanation of an allocation change
+// between two committed campaigns.
+type CampaignDiff struct {
+	FromID string `json:"from_id"`
+	ToID   string `json:"to_id"`
+
+	ObjectiveFrom  float64 `json:"objective_from"`
+	ObjectiveTo    float64 `json:"objective_to"`
+	ObjectiveDelta float64 `json:"objective_delta"`
+
+	// Alloc lists per-component node/thread deltas for components whose
+	// allocation changed; Fits lists changed fit parameters.
+	Alloc []ComponentDelta `json:"alloc,omitempty"`
+	Fits  []FitDelta       `json:"fits,omitempty"`
+
+	ModelDigestFrom string `json:"model_digest_from"`
+	ModelDigestTo   string `json:"model_digest_to"`
+	ModelChanged    bool   `json:"model_changed"`
+
+	// Notes flag setting changes (resolution, layout, node budget,
+	// objective, truth perturbation) that explain the drift.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// fitTol is the relative tolerance under which fit parameters count as
+// unchanged — refits on the same data jitter in the last digits.
+const fitTol = 1e-9
+
+func fitEqual(a, b FitParams) bool {
+	eq := func(x, y float64) bool {
+		if x == y {
+			return true
+		}
+		scale := math.Max(math.Abs(x), math.Abs(y))
+		return math.Abs(x-y) <= fitTol*scale
+	}
+	return eq(a.A, b.A) && eq(a.B, b.B) && eq(a.C, b.C) && eq(a.D, b.D)
+}
+
+// componentOrder fixes the presentation order: alphabetical, which is
+// also deterministic for components the schemas have never seen.
+func componentOrder(a, b CampaignRecord) []string {
+	set := map[string]bool{}
+	for c := range a.Nodes {
+		set[c] = true
+	}
+	for c := range b.Nodes {
+		set[c] = true
+	}
+	for c := range a.Fits {
+		set[c] = true
+	}
+	for c := range b.Fits {
+		set[c] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DiffCampaigns computes the structured change explanation from a to b.
+func DiffCampaigns(a, b CampaignRecord) *CampaignDiff {
+	d := &CampaignDiff{
+		FromID:          a.ID,
+		ToID:            b.ID,
+		ObjectiveFrom:   a.ObjectiveSeconds,
+		ObjectiveTo:     b.ObjectiveSeconds,
+		ObjectiveDelta:  b.ObjectiveSeconds - a.ObjectiveSeconds,
+		ModelDigestFrom: a.ModelDigest,
+		ModelDigestTo:   b.ModelDigest,
+		ModelChanged:    a.ModelDigest != b.ModelDigest,
+	}
+	for _, c := range componentOrder(a, b) {
+		if a.Nodes[c] != b.Nodes[c] || a.Threads[c] != b.Threads[c] {
+			d.Alloc = append(d.Alloc, ComponentDelta{
+				Component:   c,
+				NodesFrom:   a.Nodes[c],
+				NodesTo:     b.Nodes[c],
+				ThreadsFrom: a.Threads[c],
+				ThreadsTo:   b.Threads[c],
+				TimeFrom:    a.PredictedComp[c],
+				TimeTo:      b.PredictedComp[c],
+			})
+		}
+		fa, oka := a.Fits[c]
+		fb, okb := b.Fits[c]
+		if oka != okb || (oka && !fitEqual(fa, fb)) {
+			d.Fits = append(d.Fits, FitDelta{Component: c, From: fa, To: fb})
+		}
+	}
+	note := func(format string, args ...interface{}) {
+		d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
+	}
+	if a.Resolution != b.Resolution {
+		note("resolution changed: %s -> %s", a.Resolution, b.Resolution)
+	}
+	if a.Layout != b.Layout {
+		note("layout changed: %d -> %d", a.Layout, b.Layout)
+	}
+	if a.TotalNodes != b.TotalNodes {
+		note("node budget changed: %d -> %d", a.TotalNodes, b.TotalNodes)
+	}
+	if a.Objective != b.Objective {
+		note("objective changed: %s -> %s", a.Objective, b.Objective)
+	}
+	if a.Seed != b.Seed {
+		note("machine seed changed: %d -> %d", a.Seed, b.Seed)
+	}
+	if a.SolvePath != b.SolvePath && (a.SolvePath != "" || b.SolvePath != "") {
+		note("solve path changed: %s -> %s", a.SolvePath, b.SolvePath)
+	}
+	if ts := diffScales(a.TruthScale, b.TruthScale); ts != "" {
+		note("truth functions perturbed: %s", ts)
+	}
+	return d
+}
+
+func diffScales(a, b map[string]float64) string {
+	set := map[string]bool{}
+	for c := range a {
+		set[c] = true
+	}
+	for c := range b {
+		set[c] = true
+	}
+	var comps []string
+	for c := range set {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	var parts []string
+	for _, c := range comps {
+		av, bv := a[c], b[c]
+		if av == 0 {
+			av = 1
+		}
+		if bv == 0 {
+			bv = 1
+		}
+		if av != bv {
+			parts = append(parts, fmt.Sprintf("%s ×%g -> ×%g", c, av, bv))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += ", " + p
+	}
+	return out
+}
+
+// Changed reports whether the diff records any difference at all.
+func (d *CampaignDiff) Changed() bool {
+	return d.ObjectiveDelta != 0 || len(d.Alloc) > 0 || len(d.Fits) > 0 ||
+		d.ModelChanged || len(d.Notes) > 0
+}
+
+// Format renders the diff as the human-readable report `hslb diff`
+// prints. The output is deterministic: components in sorted order,
+// fixed float formatting.
+func (d *CampaignDiff) Format(w io.Writer) {
+	fmt.Fprintf(w, "campaign diff: %s -> %s\n", d.FromID, d.ToID)
+	if !d.Changed() {
+		fmt.Fprintln(w, "  no change")
+		return
+	}
+	fmt.Fprintf(w, "  objective: %.4f s -> %.4f s (%+.4f s, %+.2f%%)\n",
+		d.ObjectiveFrom, d.ObjectiveTo, d.ObjectiveDelta, pct(d.ObjectiveDelta, d.ObjectiveFrom))
+	if len(d.Alloc) > 0 {
+		fmt.Fprintln(w, "  allocation:")
+		for _, a := range d.Alloc {
+			fmt.Fprintf(w, "    %-4s nodes %5d -> %5d (%+d)   threads %6d -> %6d (%+d)",
+				a.Component, a.NodesFrom, a.NodesTo, a.NodesTo-a.NodesFrom,
+				a.ThreadsFrom, a.ThreadsTo, a.ThreadsTo-a.ThreadsFrom)
+			if a.TimeFrom != 0 || a.TimeTo != 0 {
+				fmt.Fprintf(w, "   predicted %8.3f s -> %8.3f s", a.TimeFrom, a.TimeTo)
+			}
+			fmt.Fprintln(w)
+		}
+	} else {
+		fmt.Fprintln(w, "  allocation: unchanged")
+	}
+	if len(d.Fits) > 0 {
+		fmt.Fprintln(w, "  fit parameters:")
+		for _, f := range d.Fits {
+			fmt.Fprintf(w, "    %-4s a %.6g -> %.6g   b %.6g -> %.6g   c %.4g -> %.4g   d %.6g -> %.6g   R² %.4f -> %.4f\n",
+				f.Component, f.From.A, f.To.A, f.From.B, f.To.B,
+				f.From.C, f.To.C, f.From.D, f.To.D, f.From.R2, f.To.R2)
+		}
+	}
+	if d.ModelChanged {
+		fmt.Fprintf(w, "  model digest: %s -> %s\n", short(d.ModelDigestFrom), short(d.ModelDigestTo))
+	} else {
+		fmt.Fprintf(w, "  model digest: %s (unchanged)\n", short(d.ModelDigestFrom))
+	}
+	for _, n := range d.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func pct(delta, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * delta / base
+}

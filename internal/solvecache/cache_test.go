@@ -28,8 +28,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := New[int](2)
 	c.Put("a", 1)
 	c.Put("b", 2)
-	c.Get("a")      // a is now most recent
-	c.Put("c", 3)   // evicts b
+	c.Get("a")    // a is now most recent
+	c.Put("c", 3) // evicts b
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}

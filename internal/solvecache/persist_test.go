@@ -1,0 +1,115 @@
+package solvecache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// mapBackend is an in-memory Backend for tests.
+type mapBackend struct {
+	mu      sync.Mutex
+	data    map[string]string
+	saveErr error
+	saves   int
+}
+
+func (b *mapBackend) Save(key string, val string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.saveErr != nil {
+		return b.saveErr
+	}
+	if b.data == nil {
+		b.data = map[string]string{}
+	}
+	b.data[key] = val
+	b.saves++
+	return nil
+}
+
+func (b *mapBackend) LoadAll(fn func(key string, val string)) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k, v := range b.data {
+		fn(k, v)
+	}
+	return nil
+}
+
+func TestByteVolumeStats(t *testing.T) {
+	c := New[string](4)
+	c.SetSizer(func(v string) int { return len(v) })
+
+	c.Get("a") // miss, no bytes (nothing was filled yet)
+	c.Put("a", "12345")
+	c.Get("a") // hit, 5 bytes
+	c.Get("a") // hit, 5 bytes
+	c.Put("b", "1234567890")
+
+	st := c.Stats()
+	if st.HitBytes != 10 {
+		t.Errorf("HitBytes = %d, want 10", st.HitBytes)
+	}
+	if st.MissBytes != 15 { // both fills: 5 + 10
+		t.Errorf("MissBytes = %d, want 15", st.MissBytes)
+	}
+	// Overwriting an existing key is not a new miss fill.
+	c.Put("a", "xx")
+	if got := c.Stats().MissBytes; got != 15 {
+		t.Errorf("MissBytes after overwrite = %d, want 15", got)
+	}
+	// Hits after the overwrite use the new size.
+	c.Get("a")
+	if got := c.Stats().HitBytes; got != 12 {
+		t.Errorf("HitBytes after overwrite = %d, want 12", got)
+	}
+}
+
+func TestWriteThroughAndWarm(t *testing.T) {
+	b := &mapBackend{}
+	c := New[string](8)
+	c.SetBackend(b)
+	c.Put("k1", "v1")
+	c.Put("k2", "v2")
+	if b.saves != 2 || b.data["k1"] != "v1" {
+		t.Fatalf("write-through missed: %+v", b)
+	}
+
+	// A fresh cache warms from the backend; warm loads do not write back.
+	c2 := New[string](8)
+	c2.SetBackend(b)
+	n, err := c2.Warm()
+	if err != nil || n != 2 {
+		t.Fatalf("Warm = %d, %v", n, err)
+	}
+	if v, ok := c2.Get("k1"); !ok || v != "v1" {
+		t.Fatalf("warmed entry missing: %q, %v", v, ok)
+	}
+	if b.saves != 2 {
+		t.Fatalf("warm loads wrote back: %d saves", b.saves)
+	}
+	if st := c2.Stats(); st.Warmed != 2 {
+		t.Fatalf("Warmed = %d", st.Warmed)
+	}
+}
+
+func TestPersistErrorsAreCountedNotFatal(t *testing.T) {
+	b := &mapBackend{saveErr: errors.New("disk full")}
+	c := New[string](8)
+	c.SetBackend(b)
+	c.Put("k", "v")
+	if v, ok := c.Get("k"); !ok || v != "v" {
+		t.Fatal("entry lost after persist failure")
+	}
+	if st := c.Stats(); st.PersistErrors != 1 {
+		t.Fatalf("PersistErrors = %d", st.PersistErrors)
+	}
+}
+
+func TestWarmWithoutBackend(t *testing.T) {
+	c := New[string](4)
+	if n, err := c.Warm(); n != 0 || err != nil {
+		t.Fatalf("Warm without backend = %d, %v", n, err)
+	}
+}
