@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet fmt race chaos bench load fsck
+.PHONY: verify build test vet fmt race chaos bench load fsck fleet
 
-verify: build vet fmt test race load fsck
+verify: build vet fmt test race load fsck fleet
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,9 @@ chaos:
 	$(GO) test -v -race -run 'TestChaosPipelineWorkersInvariant' ./internal/core/
 	$(GO) test -v -race -run 'TestParallelGather|TestRunLatency' ./internal/bench/
 	$(GO) test -v -race -run 'TestParallelNLPBB' ./internal/minlp/
+	$(GO) test -v -race -run 'TestChaosFleet' ./internal/fleet/
+	$(GO) test -v -race -run 'TestWorkLeaseExpiryReclaim|TestWorkIdempotentComplete|TestLocalWorkerPanicReclaimed' ./internal/neos/
+	$(GO) test -v -race -run 'TestLeaseConcurrentChaos|TestTornTailMidLeaseRecord' ./internal/jobstore/
 
 # Sequential-vs-parallel timing for the two hot paths (gather campaign,
 # NLP-BB solve ladder); writes BENCH_parallel.json and fails if parallel
@@ -56,6 +59,15 @@ fsck:
 	$(GO) run ./cmd/hslb -nodes 64 -points 4 -repeats 1 \
 		-store-dir "$$dir" -campaign verify >/dev/null && \
 	$(GO) run ./cmd/hslb fsck -store-dir "$$dir"
+
+# Fleet acceptance: 1 hslbserver + 3 hslbworker real processes; one worker
+# is SIGKILLed provably mid-solve, and the scenario fails unless every job
+# still reaches a terminal state with the correct result, the killed
+# worker's lease is reclaimed by TTL expiry, and replaying the batch
+# through POST /solve costs zero solver invocations (fleet results warmed
+# the cache). Runs in ~10s.
+fleet:
+	$(GO) run ./cmd/hslbfleet -jobs 12 -workers 3
 
 # Overload acceptance: a closed-loop generator measures peak goodput at
 # solver capacity, then storms the protected server at 4x capacity with

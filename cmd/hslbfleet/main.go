@@ -1,0 +1,315 @@
+// Command hslbfleet is the end-to-end acceptance harness for the
+// distributed solve fleet: it builds and launches one real hslbserver
+// process (durable WAL, no in-process workers) and several real hslbworker
+// processes, submits a batch of jobs, SIGKILLs one worker while leases are
+// outstanding, and asserts that despite the crash
+//
+//   - every job reaches a terminal state (all done, none failed or lost),
+//   - every result is the correct optimum for its model, and
+//   - every remotely computed result warmed the server's solve cache —
+//     replaying the batch through POST /solve costs zero solver invocations.
+//
+// The process exits non-zero on any violation, making it usable as a CI
+// gate (`make fleet`).
+//
+// Usage:
+//
+//	hslbfleet -jobs 12 -workers 3 -timeout 120s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"hslb/internal/neos"
+)
+
+func main() {
+	var (
+		jobs     = flag.Int("jobs", 12, "jobs to submit")
+		workers  = flag.Int("workers", 3, "hslbworker processes to launch")
+		leaseTTL = flag.Duration("lease-ttl", time.Second, "server lease TTL")
+		timeout  = flag.Duration("timeout", 120*time.Second, "overall scenario budget")
+		keepLogs = flag.Bool("logs", false, "pass worker/server output through")
+	)
+	flag.Parse()
+
+	if err := run(*jobs, *workers, *leaseTTL, *timeout, *keepLogs); err != nil {
+		log.Fatalf("fleet scenario FAILED: %v", err)
+	}
+	fmt.Println("fleet scenario PASSED")
+}
+
+func run(jobs, workers int, leaseTTL, timeout time.Duration, keepLogs bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	bin, err := os.MkdirTemp("", "hslbfleet-bin-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(bin)
+	data, err := os.MkdirTemp("", "hslbfleet-data-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(data)
+
+	serverBin := filepath.Join(bin, "hslbserver")
+	workerBin := filepath.Join(bin, "hslbworker")
+	for target, pkg := range map[string]string{serverBin: "./cmd/hslbserver", workerBin: "./cmd/hslbworker"} {
+		build := exec.CommandContext(ctx, "go", "build", "-o", target, pkg)
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", pkg, err)
+		}
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	url := "http://" + addr
+
+	// 1 server, WAL on disk, queue left entirely to the remote fleet.
+	server := exec.Command(serverBin,
+		"-addr", addr,
+		"-data-dir", data,
+		"-async-workers=-1",
+		"-lease-ttl", leaseTTL.String(),
+		"-job-timeout", "-1s",
+		"-max-attempts", "6",
+	)
+	if keepLogs {
+		server.Stdout, server.Stderr = os.Stdout, os.Stderr
+	}
+	if err := server.Start(); err != nil {
+		return fmt.Errorf("start server: %w", err)
+	}
+	defer reap(server, syscall.SIGTERM)
+
+	client := neos.NewClient(url)
+	if err := waitHealthy(ctx, client); err != nil {
+		return err
+	}
+
+	startWorker := func(i int) (*exec.Cmd, error) {
+		w := exec.Command(workerBin,
+			"-server", url,
+			"-id", fmt.Sprintf("fleet-%d", i),
+			"-lease-ttl", leaseTTL.String(),
+			"-drain-grace", "5s",
+			"-backoff", "10ms",
+			"-max-backoff", "250ms",
+			"-v",
+		)
+		if keepLogs {
+			w.Stdout, w.Stderr = os.Stdout, os.Stderr
+		}
+		if err := w.Start(); err != nil {
+			return nil, fmt.Errorf("start worker %d: %w", i, err)
+		}
+		return w, nil
+	}
+
+	// Submit the batch: first a "poison" job slow enough (~230ms) that the
+	// victim worker is provably mid-solve when killed, then unique fast
+	// models with known optima. The poison job's objective is asserted via
+	// replay consistency rather than a priori.
+	poisonReq := &neos.SolveRequest{
+		Model: "var n1 integer >= 1 <= 900; var n2 integer >= 1 <= 900;" +
+			" var n3 integer >= 1 <= 900; var T >= 0 <= 10000;" +
+			" subject to cap: n1 + n2 + n3 <= 900;" +
+			" subject to t1: 5 + 1000/n1 <= T; subject to t2: 3 + 800/n2 <= T;" +
+			" subject to t3: 4 + 600/n3 <= T; minimize total: T;",
+		Algorithm: "nlpbb",
+	}
+	poisonID, err := client.Submit(ctx, poisonReq)
+	if err != nil {
+		return fmt.Errorf("submit poison: %w", err)
+	}
+	expect := map[int64]float64{}
+	models := map[int64]string{}
+	for i := 0; i < jobs; i++ {
+		n := i + 2
+		model := fmt.Sprintf("var x integer >= 1 <= %d; maximize total: x;", n)
+		id, err := client.Submit(ctx, &neos.SolveRequest{Model: model})
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		expect[id] = float64(n)
+		models[id] = model
+	}
+
+	// Fault injection, made deterministic: worker 0 starts alone, so the
+	// first observed lease is provably its. The moment the server reports
+	// one outstanding, SIGKILL — no drain, no release; only the lease TTL
+	// and the server's reaper can rescue whatever it held.
+	victim, err := startWorker(0)
+	if err != nil {
+		return err
+	}
+	defer reap(victim, syscall.SIGTERM)
+	for {
+		m, err := client.Metrics(ctx)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if m.Jobs.Leased > 0 {
+			if err := victim.Process.Kill(); err != nil {
+				return fmt.Errorf("kill worker 0: %w", err)
+			}
+			_ = victim.Wait()
+			fmt.Printf("killed fleet-0 with %d lease(s) outstanding\n", m.Jobs.Leased)
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("no kill window before timeout")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Whatever the victim still held at the kill must be reclaimed by TTL
+	// expiry, never lost. (It may have completed its lease in the instant
+	// before the SIGKILL landed; then there is nothing to reclaim.)
+	post, err := client.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	needReclaim := post.Jobs.Leased > 0
+
+	// The rest of the fleet takes over.
+	for i := 1; i < workers; i++ {
+		w, err := startWorker(i)
+		if err != nil {
+			return err
+		}
+		defer reap(w, syscall.SIGTERM)
+	}
+
+	// Every job terminal, every result correct.
+	for id, want := range expect {
+		jr, err := waitDone(ctx, client, id)
+		if err != nil {
+			return fmt.Errorf("job %d: %w", id, err)
+		}
+		if jr.Status != neos.JobDone {
+			return fmt.Errorf("job %d = %s (%s), want done", id, jr.Status, jr.Error)
+		}
+		if jr.Result == nil || jr.Result.Objective != want {
+			return fmt.Errorf("job %d result = %+v, want objective %v", id, jr.Result, want)
+		}
+	}
+	poison, err := waitDone(ctx, client, poisonID)
+	if err != nil {
+		return fmt.Errorf("poison job: %w", err)
+	}
+	if poison.Status != neos.JobDone || poison.Result == nil {
+		return fmt.Errorf("poison job = %+v, want done with a result", poison)
+	}
+
+	// Remote results warmed the server cache: replaying the whole batch
+	// through the sync path must not invoke the server's solver once.
+	before, err := client.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	for id, model := range models {
+		resp, err := client.Solve(ctx, &neos.SolveRequest{Model: model})
+		if err != nil {
+			return fmt.Errorf("replay solve job %d: %w", id, err)
+		}
+		if resp.Objective != expect[id] {
+			return fmt.Errorf("replay job %d objective = %v, want %v", id, resp.Objective, expect[id])
+		}
+	}
+	// The poison job replays from cache too, with the recorded result.
+	preplay, err := client.Solve(ctx, poisonReq)
+	if err != nil {
+		return fmt.Errorf("replay poison: %w", err)
+	}
+	if preplay.Objective != poison.Result.Objective {
+		return fmt.Errorf("poison replay objective = %v, recorded %v (conflicting execution?)",
+			preplay.Objective, poison.Result.Objective)
+	}
+	after, err := client.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	if after.Solves.Count != before.Solves.Count {
+		return fmt.Errorf("replay invoked the solver %d times; fleet results were not cached",
+			after.Solves.Count-before.Solves.Count)
+	}
+	if needReclaim && after.Jobs.LeaseReclaims == 0 {
+		return fmt.Errorf("killed worker held a lease but none was reclaimed")
+	}
+	fmt.Printf("%d jobs done, %d lease reclaim(s), %d stale reject(s), %d cache hit(s) on replay\n",
+		jobs, after.Jobs.LeaseReclaims, after.Jobs.StaleRejects, after.Cache.Hits-before.Cache.Hits)
+	return nil
+}
+
+func waitDone(ctx context.Context, c *neos.Client, id int64) (*neos.JobResult, error) {
+	for {
+		jr, err := c.Result(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if jr.Status == neos.JobDone || jr.Status == neos.JobFailed {
+			return jr, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("not terminal before timeout (last status %s)", jr.Status)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func waitHealthy(ctx context.Context, c *neos.Client) error {
+	for {
+		if _, err := c.Metrics(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server never became healthy")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+	return l.Addr().String(), nil
+}
+
+// reap terminates a child gracefully, escalating to SIGKILL after 10s.
+func reap(cmd *exec.Cmd, sig syscall.Signal) {
+	if cmd.Process == nil {
+		return
+	}
+	if cmd.ProcessState != nil { // already waited (e.g. the killed worker)
+		return
+	}
+	_ = cmd.Process.Signal(sig)
+	done := make(chan struct{})
+	go func() { _, _ = cmd.Process.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		<-done
+	}
+}

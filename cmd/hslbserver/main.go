@@ -61,6 +61,8 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long a tripped breaker rests before half-open probes")
 	breakerProbe := flag.Float64("breaker-probe", 0.25, "fraction of half-open requests allowed through as probes")
 	degradedTimeout := flag.Duration("degraded-timeout", 250*time.Millisecond, "budget of the brownout rung's quick rounding solve (<0 disables the rung)")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "default lease duration granted to pull workers on /work/lease")
+	asyncWorkers := flag.Int("async-workers", 0, "in-process async workers (0 = concurrency; <0 runs none, leaving /submit jobs to remote hslbworker nodes)")
 	storeDir := flag.String("store-dir", "", "directory of the content-addressed result store (empty = disabled)")
 	cachePersist := flag.Bool("cache-persist", false, "persist solve-cache fills to -store-dir and warm the cache from it at startup")
 	storeHistory := flag.Int("store-history", 0, "commits of history retained per store key by GC (0 = unbounded)")
@@ -77,6 +79,8 @@ func main() {
 		SolveTimeout:     *solveTimeout,
 		SolveWorkers:     *solveWorkers,
 		MaxPendingJobs:   *maxPendingJobs,
+		LeaseTTL:         *leaseTTL,
+		AsyncWorkers:     *asyncWorkers,
 		StoreDir:         *storeDir,
 		CachePersist:     *cachePersist,
 		StoreKeepHistory: *storeHistory,

@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hslb/internal/neos"
+)
+
+// tinyModel(n) is a one-variable model whose optimum is n — trivially
+// solvable, so end-to-end tests can run the real MINLP pipeline.
+func tinyModel(n int) string {
+	return "var x integer >= 1 <= " + itoa(n) + "; maximize total: x;"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func newFleetServer(t *testing.T, cfg neos.Config) (*httptest.Server, *neos.Client) {
+	t.Helper()
+	s, err := neos.NewServerWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return hs, neos.NewClient(hs.URL)
+}
+
+// TestWorkerEndToEnd runs one real pull-loop node against a server with no
+// local workers: lease → real MINLP solve → complete, for several jobs, then
+// a clean drain.
+func TestWorkerEndToEnd(t *testing.T) {
+	_, c := newFleetServer(t, neos.Config{
+		MaxConcurrent: 2,
+		AsyncWorkers:  -1,
+		LeaseTTL:      2 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	w, err := New(c, Config{ID: "node-a", BaseBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = w.Run(ctx) }()
+
+	want := map[int64]float64{}
+	for n := 3; n <= 5; n++ {
+		id, err := c.Submit(ctx, &neos.SolveRequest{Model: tinyModel(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = float64(n)
+	}
+	for id, obj := range want {
+		jr := waitTerminal(t, c, id, 60*time.Second)
+		if jr.Status != neos.JobDone || jr.Result == nil || jr.Result.Objective != obj {
+			t.Fatalf("job %d = %+v, want done with objective %v", id, jr, obj)
+		}
+	}
+	cancel()
+	wg.Wait()
+	if st := w.Stats(); st.Completed != 3 || st.LeasesLost != 0 || st.Released != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestWorkerDrainReleasesLease stops a worker mid-solve with no drain
+// grace: the lease must be handed back immediately without consuming the
+// attempt.
+func TestWorkerDrainReleasesLease(t *testing.T) {
+	_, c := newFleetServer(t, neos.Config{
+		MaxConcurrent: 2,
+		AsyncWorkers:  -1,
+		LeaseTTL:      5 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	solving := make(chan struct{})
+	w, err := New(c, Config{
+		ID:          "drainer",
+		BaseBackoff: 5 * time.Millisecond,
+		DrainGrace:  -1,
+		SolveFn: func(sctx context.Context, req *neos.SolveRequest) *neos.SolveResponse {
+			close(solving)
+			<-sctx.Done() // solve "runs" until the drain cancels it
+			return &neos.SolveResponse{Status: "deadline"}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = w.Run(ctx) }()
+
+	id, err := c.Submit(ctx, &neos.SolveRequest{Model: tinyModel(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-solving
+	cancel() // SIGTERM
+	wg.Wait()
+	if st := w.Stats(); st.Released != 1 || st.Completed != 0 {
+		t.Fatalf("stats = %+v, want exactly one release", st)
+	}
+	// Release did not consume the attempt: the next node starts at 1.
+	g, _, err := c.LeaseWork(context.Background(), "next", 0)
+	if err != nil || g == nil {
+		t.Fatalf("re-lease = (%v, %v)", g, err)
+	}
+	if g.JobID != id || g.Attempt != 1 {
+		t.Fatalf("re-leased grant = %+v, want job %d attempt 1", g, id)
+	}
+}
+
+// TestWorkerDrainFinishesWithinGrace stops a worker mid-solve whose solve
+// finishes inside the drain grace: the result must still be reported.
+func TestWorkerDrainFinishesWithinGrace(t *testing.T) {
+	_, c := newFleetServer(t, neos.Config{
+		MaxConcurrent: 2,
+		AsyncWorkers:  -1,
+		LeaseTTL:      5 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	solving := make(chan struct{})
+	release := make(chan struct{})
+	w, err := New(c, Config{
+		ID:          "finisher",
+		BaseBackoff: 5 * time.Millisecond,
+		DrainGrace:  30 * time.Second,
+		SolveFn: func(sctx context.Context, req *neos.SolveRequest) *neos.SolveResponse {
+			close(solving)
+			<-release
+			return &neos.SolveResponse{Status: "optimal", Objective: 4}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = w.Run(ctx) }()
+
+	id, err := c.Submit(ctx, &neos.SolveRequest{Model: tinyModel(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-solving
+	cancel()       // SIGTERM arrives mid-solve…
+	close(release) // …and the solve finishes shortly after
+	wg.Wait()
+	if st := w.Stats(); st.Completed != 1 || st.Released != 0 {
+		t.Fatalf("stats = %+v, want the drained solve completed", st)
+	}
+	jr := waitTerminal(t, c, id, 10*time.Second)
+	if jr.Status != neos.JobDone || jr.Result == nil || jr.Result.Objective != 4 {
+		t.Fatalf("job = %+v, want done with the drained worker's result", jr)
+	}
+}
+
+func waitTerminal(t *testing.T, c *neos.Client, id int64, budget time.Duration) *neos.JobResult {
+	t.Helper()
+	if raceEnabled {
+		budget *= 4
+	}
+	deadline := time.Now().Add(budget)
+	for {
+		jr, err := c.Result(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status == neos.JobDone || jr.Status == neos.JobFailed {
+			return jr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d stuck in %v", id, jr.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -49,15 +49,32 @@ type Job struct {
 	FinishedAt  time.Time       `json:"finished_at,omitempty"`
 	// NotBefore delays re-execution after a retryable failure (backoff).
 	NotBefore time.Time `json:"not_before,omitempty"`
+	// Fence is the monotonically increasing per-job fencing token, bumped
+	// each time the job is leased. Terminal transitions must present the
+	// current token; anything older is rejected with ErrStaleLease, so a
+	// worker whose lease expired (and whose job was handed to someone else)
+	// cannot clobber the newer execution. Persisted so monotonicity
+	// survives restarts.
+	Fence int64 `json:"fence,omitempty"`
+	// Worker identifies the holder of the current lease ("" when queued or
+	// terminal). Leases do not survive restart.
+	Worker string `json:"worker,omitempty"`
+	// LeaseExpiry is when the current lease lapses and the reaper may
+	// reclaim the job (zero = no expiry).
+	LeaseExpiry time.Time `json:"lease_expiry,omitempty"`
 }
 
-// record is one WAL line: a full job snapshot ("put") or a tombstone
-// ("del"). Snapshots make replay trivial — the last record per ID wins —
-// at the cost of log size, which compaction bounds.
+// record is one WAL line. "put" and "lease" carry a full job snapshot
+// (last record per ID wins), "del" a tombstone, "renew" a lease-expiry
+// extension, and "expire" a reaper reclaim — the two small lease records
+// apply only when the stored fence still matches. Compaction folds every
+// record type back into one "put" snapshot per live job.
 type record struct {
-	Op  string `json:"op"`
-	Job *Job   `json:"job,omitempty"`
-	ID  int64  `json:"id,omitempty"`
+	Op    string    `json:"op"`
+	Job   *Job      `json:"job,omitempty"`
+	ID    int64     `json:"id,omitempty"`
+	Fence int64     `json:"fence,omitempty"`
+	Exp   time.Time `json:"exp,omitempty"`
 }
 
 // Options configures a Store.
@@ -100,13 +117,24 @@ type Store struct {
 	ready chan struct{}
 	// recovered counts running→queued transitions performed at Open.
 	recovered int
+	// reclaims counts expired-lease requeues (and expiry-exhausted
+	// failures) performed by the reaper; staleRejects counts transitions
+	// rejected with ErrStaleLease. Both are cumulative for /metrics.
+	reclaims     uint64
+	staleRejects uint64
 }
 
 const walName = "jobs.wal"
 
-// ErrConflict is returned when a transition does not match the job's
-// current state (e.g. a stale attempt reporting on a re-queued job).
-var ErrConflict = errors.New("jobstore: stale or conflicting transition")
+// ErrStaleLease is returned when a transition presents a fencing token
+// that no longer matches the job's current lease — the lease expired, was
+// released, or the job was re-leased to another worker. The stale holder
+// must abandon its work; the result it computed will never be recorded.
+var ErrStaleLease = errors.New("jobstore: stale lease fencing token")
+
+// ErrConflict is the historical name for a stale or conflicting
+// transition; it is now the same error as ErrStaleLease.
+var ErrConflict = ErrStaleLease
 
 // ErrNotFound is returned for unknown job IDs.
 var ErrNotFound = errors.New("jobstore: no such job")
@@ -202,7 +230,7 @@ func (s *Store) replay(path string) error {
 		validBytes += int64(len(line)) + 1
 		s.records++
 		switch rec.Op {
-		case "put":
+		case "put", "lease":
 			if rec.Job != nil {
 				j := *rec.Job
 				s.jobs[j.ID] = &j
@@ -212,6 +240,17 @@ func (s *Store) replay(path string) error {
 			}
 		case "del":
 			delete(s.jobs, rec.ID)
+		case "renew":
+			if j, ok := s.jobs[rec.ID]; ok && j.Status == Running && j.Fence == rec.Fence {
+				j.LeaseExpiry = rec.Exp
+			}
+		case "expire":
+			if j, ok := s.jobs[rec.ID]; ok && j.Status == Running && j.Fence == rec.Fence {
+				j.Status = Queued
+				j.StartedAt = time.Time{}
+				j.Worker = ""
+				j.LeaseExpiry = time.Time{}
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -221,10 +260,16 @@ func (s *Store) replay(path string) error {
 		s.torn = true
 	}
 	s.walBytes = validBytes
+	// Leases do not survive restart: whoever held them may be gone, and a
+	// still-alive holder's completion is fenced off by the token it kept —
+	// the next lease issues a higher one. The fence itself is preserved so
+	// monotonicity spans restarts.
 	for _, j := range s.jobs {
 		if j.Status == Running {
 			j.Status = Queued
 			j.StartedAt = time.Time{}
+			j.Worker = ""
+			j.LeaseExpiry = time.Time{}
 			s.recovered++
 		}
 	}
@@ -289,18 +334,47 @@ func (s *Store) Enqueue(request json.RawMessage, maxAttempts int) (Job, error) {
 	return *j, nil
 }
 
-// Dequeue claims the oldest runnable queued job, marking it running and
-// incrementing its attempt counter. When nothing is runnable it returns
-// (nil, wait): wait > 0 means a backed-off job becomes runnable after
-// that duration; wait == 0 means the queue is empty — block on Ready().
+// Dequeue claims the oldest runnable queued job with no lease expiry —
+// the historical in-process contract. Equivalent to Lease("", 0).
 func (s *Store) Dequeue() (*Job, time.Duration, error) {
+	return s.Lease("", 0)
+}
+
+// Lease claims the oldest runnable queued job for workerID, marking it
+// running, incrementing its attempt counter, and issuing a fresh fencing
+// token (Job.Fence). A ttl > 0 arms lease expiry: unless the holder calls
+// Renew, MarkDone, MarkFailed, Requeue, or Release within ttl, the reaper
+// requeues the job and the holder's token goes stale. ttl <= 0 leases
+// without expiry (local workers that cannot silently vanish).
+//
+// Expired leases are reclaimed inline before selection, so a polling
+// worker sees reclaimed work without waiting for a reaper tick. When
+// nothing is runnable it returns (nil, wait): wait > 0 means a backed-off
+// job or an expiring lease becomes actionable after that duration;
+// wait == 0 means the queue is idle — block on Ready().
+func (s *Store) Lease(workerID string, ttl time.Duration) (*Job, time.Duration, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, errors.New("jobstore: closed")
+	}
+	if _, err := s.reapExpiredLocked(); err != nil {
+		return nil, 0, err
+	}
 	now := s.opts.now()
 	var best *Job
 	var earliest time.Time
 	for _, j := range s.jobs {
-		if j.Status != Queued {
+		switch j.Status {
+		case Running:
+			// A live lease expiring soonest bounds how long an idle
+			// worker should sleep before re-polling for reclaimed work.
+			if !j.LeaseExpiry.IsZero() && (earliest.IsZero() || j.LeaseExpiry.Before(earliest)) {
+				earliest = j.LeaseExpiry
+			}
+			continue
+		case Queued:
+		default:
 			continue
 		}
 		if j.NotBefore.After(now) {
@@ -323,11 +397,113 @@ func (s *Store) Dequeue() (*Job, time.Duration, error) {
 	best.Attempts++
 	best.StartedAt = now
 	best.NotBefore = time.Time{}
-	if err := s.appendLocked(record{Op: "put", Job: best}); err != nil {
+	best.Fence++
+	best.Worker = workerID
+	if ttl > 0 {
+		best.LeaseExpiry = now.Add(ttl)
+	} else {
+		best.LeaseExpiry = time.Time{}
+	}
+	if err := s.appendLocked(record{Op: "lease", Job: best}); err != nil {
 		return nil, 0, err
 	}
 	cp := *best
 	return &cp, 0, nil
+}
+
+// Renew extends the lease on job id by ttl from now. The caller must
+// present the fencing token its Lease returned; a token that no longer
+// matches (expired and re-leased, released, or finished) is rejected with
+// ErrStaleLease — the signal to stop computing.
+func (s *Store) Renew(id, fence int64, ttl time.Duration) (time.Duration, error) {
+	if ttl <= 0 {
+		return 0, errors.New("jobstore: non-positive lease ttl")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	if j.Status != Running || j.Fence != fence {
+		s.staleRejects++
+		return 0, ErrStaleLease
+	}
+	j.LeaseExpiry = s.opts.now().Add(ttl)
+	if err := s.appendLocked(record{Op: "renew", ID: id, Fence: fence, Exp: j.LeaseExpiry}); err != nil {
+		return 0, err
+	}
+	return ttl, nil
+}
+
+// Release returns a leased job to the queue without consuming an attempt —
+// a draining worker handing back work it never started, as opposed to
+// Requeue (a failed attempt, with backoff). Stale tokens are rejected.
+func (s *Store) Release(id, fence int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if j.Status != Running || j.Fence != fence {
+		s.staleRejects++
+		return ErrStaleLease
+	}
+	j.Status = Queued
+	j.Attempts--
+	j.StartedAt = time.Time{}
+	j.Worker = ""
+	j.LeaseExpiry = time.Time{}
+	// A full snapshot, not an "expire" record: Release rolls the attempt
+	// counter back, which expire replay deliberately does not.
+	if err := s.appendLocked(record{Op: "put", Job: j}); err != nil {
+		return err
+	}
+	s.signal()
+	return nil
+}
+
+// ReapExpired requeues every job whose lease has lapsed (or fails it when
+// its attempts are exhausted), returning how many were reclaimed. The
+// holder's fencing token goes stale the moment the job leaves Running.
+func (s *Store) ReapExpired() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reapExpiredLocked()
+}
+
+func (s *Store) reapExpiredLocked() (int, error) {
+	now := s.opts.now()
+	n := 0
+	for _, j := range s.jobs {
+		if j.Status != Running || j.LeaseExpiry.IsZero() || j.LeaseExpiry.After(now) {
+			continue
+		}
+		n++
+		s.reclaims++
+		if j.Attempts >= j.MaxAttempts {
+			j.Error = fmt.Sprintf("lease expired on attempt %d/%d (worker %q)",
+				j.Attempts, j.MaxAttempts, j.Worker)
+			j.Status = Failed
+			j.FinishedAt = now
+			j.Worker = ""
+			j.LeaseExpiry = time.Time{}
+			if err := s.appendLocked(record{Op: "put", Job: j}); err != nil {
+				return n, err
+			}
+			continue
+		}
+		j.Status = Queued
+		j.StartedAt = time.Time{}
+		j.Worker = ""
+		j.LeaseExpiry = time.Time{}
+		if err := s.appendLocked(record{Op: "expire", ID: j.ID, Fence: j.Fence}); err != nil {
+			return n, err
+		}
+		s.signal()
+	}
+	return n, nil
 }
 
 // Ready signals that a job may have become runnable (enqueue, retry, or
@@ -341,56 +517,64 @@ func (s *Store) signal() {
 	}
 }
 
-// MarkDone finalizes a running job with its result. attempt must match
-// the attempt returned by Dequeue, so a stale, abandoned execution cannot
-// clobber a newer one.
-func (s *Store) MarkDone(id int64, attempt int, result json.RawMessage) error {
-	return s.finish(id, attempt, Done, result, "")
+// MarkDone finalizes a running job with its result. fence must be the
+// fencing token issued by the Lease (or Dequeue) that claimed the job, so
+// a stale, abandoned execution cannot clobber a newer one.
+func (s *Store) MarkDone(id, fence int64, result json.RawMessage) error {
+	return s.finish(id, fence, Done, result, "")
 }
 
 // MarkFailed finalizes a running job as permanently failed.
-func (s *Store) MarkFailed(id int64, attempt int, errMsg string) error {
-	return s.finish(id, attempt, Failed, nil, errMsg)
+func (s *Store) MarkFailed(id, fence int64, errMsg string) error {
+	return s.finish(id, fence, Failed, nil, errMsg)
 }
 
-func (s *Store) finish(id int64, attempt int, st Status, result json.RawMessage, errMsg string) error {
+func (s *Store) finish(id, fence int64, st Status, result json.RawMessage, errMsg string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
 		return ErrNotFound
 	}
-	if j.Status != Running || j.Attempts != attempt {
-		return ErrConflict
+	if j.Status != Running || j.Fence != fence {
+		s.staleRejects++
+		return ErrStaleLease
 	}
 	j.Status = st
 	j.Result = result
 	j.Error = errMsg
 	j.FinishedAt = s.opts.now()
+	j.Worker = ""
+	j.LeaseExpiry = time.Time{}
 	return s.appendLocked(record{Op: "put", Job: j})
 }
 
 // Requeue reports a retryable failure of a running attempt. If the job
 // has attempts left it returns to the queue with exponential backoff
 // (backoff · 2^(attempts-1)) and Requeue returns true; otherwise the job
-// is marked failed and Requeue returns false.
-func (s *Store) Requeue(id int64, attempt int, errMsg string, backoff time.Duration) (bool, error) {
+// is marked failed and Requeue returns false. Stale fencing tokens are
+// rejected with ErrStaleLease.
+func (s *Store) Requeue(id, fence int64, errMsg string, backoff time.Duration) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
 		return false, ErrNotFound
 	}
-	if j.Status != Running || j.Attempts != attempt {
-		return false, ErrConflict
+	if j.Status != Running || j.Fence != fence {
+		s.staleRejects++
+		return false, ErrStaleLease
 	}
 	j.Error = errMsg
+	j.Worker = ""
+	j.LeaseExpiry = time.Time{}
 	if j.Attempts >= j.MaxAttempts {
 		j.Status = Failed
 		j.FinishedAt = s.opts.now()
 		return false, s.appendLocked(record{Op: "put", Job: j})
 	}
 	j.Status = Queued
+	j.StartedAt = time.Time{}
 	if backoff > 0 {
 		j.NotBefore = s.opts.now().Add(backoff << (j.Attempts - 1))
 	}
@@ -437,6 +621,39 @@ func (s *Store) Counts() map[Status]int {
 		out[j.Status]++
 	}
 	return out
+}
+
+// LeaseStats is a snapshot of lease health for /metrics.
+type LeaseStats struct {
+	// Leased is the number of jobs currently running under a lease.
+	Leased int
+	// ActiveWorkers is the number of distinct worker IDs holding a lease.
+	ActiveWorkers int
+	// Reclaims is the cumulative count of expired-lease reclaims.
+	Reclaims uint64
+	// StaleRejects is the cumulative count of transitions rejected with
+	// ErrStaleLease.
+	StaleRejects uint64
+}
+
+// LeaseStats reports current lease occupancy and the cumulative reclaim
+// and stale-rejection counters.
+func (s *Store) LeaseStats() LeaseStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := LeaseStats{Reclaims: s.reclaims, StaleRejects: s.staleRejects}
+	workers := map[string]bool{}
+	for _, j := range s.jobs {
+		if j.Status != Running {
+			continue
+		}
+		st.Leased++
+		if j.Worker != "" && !workers[j.Worker] {
+			workers[j.Worker] = true
+			st.ActiveWorkers++
+		}
+	}
+	return st
 }
 
 // pendingLocked counts jobs that still need work (queued or running).

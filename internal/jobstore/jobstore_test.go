@@ -43,7 +43,7 @@ func TestLifecycle(t *testing.T) {
 		t.Fatalf("running job = %+v", got)
 	}
 
-	if err := s.MarkDone(got.ID, got.Attempts, json.RawMessage(`{"ok":true}`)); err != nil {
+	if err := s.MarkDone(got.ID, got.Fence, json.RawMessage(`{"ok":true}`)); err != nil {
 		t.Fatal(err)
 	}
 	final, ok := s.Get(got.ID)
@@ -70,7 +70,7 @@ func TestFailedPermanently(t *testing.T) {
 	s := open(t, "", Options{})
 	j, _ := s.Enqueue(json.RawMessage(`{}`), 3)
 	run, _, _ := s.Dequeue()
-	if err := s.MarkFailed(j.ID, run.Attempts, "parse error"); err != nil {
+	if err := s.MarkFailed(j.ID, run.Fence, "parse error"); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := s.Get(j.ID)
@@ -90,7 +90,7 @@ func TestRetryWithBackoffThenExhaustion(t *testing.T) {
 	j, _ := s.Enqueue(json.RawMessage(`{}`), 2)
 
 	run, _, _ := s.Dequeue()
-	retried, err := s.Requeue(j.ID, run.Attempts, "timeout", 100*time.Millisecond)
+	retried, err := s.Requeue(j.ID, run.Fence, "timeout", 100*time.Millisecond)
 	if err != nil || !retried {
 		t.Fatalf("requeue = %v, %v", retried, err)
 	}
@@ -107,7 +107,7 @@ func TestRetryWithBackoffThenExhaustion(t *testing.T) {
 	}
 
 	// Attempts exhausted: Requeue finalizes as failed.
-	retried, err = s.Requeue(j.ID, run2.Attempts, "timeout again", 100*time.Millisecond)
+	retried, err = s.Requeue(j.ID, run2.Fence, "timeout again", 100*time.Millisecond)
 	if err != nil || retried {
 		t.Fatalf("exhausted requeue = %v, %v", retried, err)
 	}
@@ -122,15 +122,15 @@ func TestStaleAttemptRejected(t *testing.T) {
 	j, _ := s.Enqueue(json.RawMessage(`{}`), 5)
 	run, _, _ := s.Dequeue()
 	// First attempt is abandoned (timeout) and re-queued...
-	if _, err := s.Requeue(j.ID, run.Attempts, "timeout", 0); err != nil {
+	if _, err := s.Requeue(j.ID, run.Fence, "timeout", 0); err != nil {
 		t.Fatal(err)
 	}
 	run2, _, _ := s.Dequeue()
 	// ...then the stale attempt finally reports: it must be rejected.
-	if err := s.MarkDone(j.ID, run.Attempts, nil); !errors.Is(err, ErrConflict) {
+	if err := s.MarkDone(j.ID, run.Fence, nil); !errors.Is(err, ErrStaleLease) {
 		t.Fatalf("stale MarkDone err = %v", err)
 	}
-	if err := s.MarkDone(j.ID, run2.Attempts, json.RawMessage(`1`)); err != nil {
+	if err := s.MarkDone(j.ID, run2.Fence, json.RawMessage(`1`)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -168,7 +168,7 @@ func TestCrashRecoveryRunsExactlyOnce(t *testing.T) {
 	if got.Attempts != 2 {
 		t.Fatalf("attempts = %d", got.Attempts)
 	}
-	if err := s2.MarkDone(got.ID, got.Attempts, json.RawMessage(`"r"`)); err != nil {
+	if err := s2.MarkDone(got.ID, got.Fence, json.RawMessage(`"r"`)); err != nil {
 		t.Fatal(err)
 	}
 	// Exactly once: nothing left to run.
@@ -183,7 +183,7 @@ func TestRecoveryPreservesCompletedAndIDs(t *testing.T) {
 	a, _ := s1.Enqueue(json.RawMessage(`1`), 1)
 	b, _ := s1.Enqueue(json.RawMessage(`2`), 1)
 	run, _, _ := s1.Dequeue()
-	s1.MarkDone(run.ID, run.Attempts, json.RawMessage(`"done-a"`))
+	s1.MarkDone(run.ID, run.Fence, json.RawMessage(`"done-a"`))
 	s1.Close()
 
 	s2 := open(t, dir, Options{})
@@ -236,7 +236,7 @@ func TestTTLEvictionAndCompaction(t *testing.T) {
 
 	old, _ := s.Enqueue(json.RawMessage(`1`), 1)
 	run, _, _ := s.Dequeue()
-	s.MarkDone(run.ID, run.Attempts, nil)
+	s.MarkDone(run.ID, run.Fence, nil)
 	fresh, _ := s.Enqueue(json.RawMessage(`2`), 1)
 
 	now = now.Add(2 * time.Hour)
@@ -274,7 +274,7 @@ func TestAutoCompactionBoundsWAL(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		j, _ := s.Enqueue(json.RawMessage(`{}`), 1)
 		run, _, _ := s.Dequeue()
-		s.MarkDone(run.ID, run.Attempts, nil)
+		s.MarkDone(run.ID, run.Fence, nil)
 		if _, err := s.EvictCompleted(0); err != nil {
 			t.Fatal(err)
 		}
@@ -346,7 +346,7 @@ func TestMaxPendingShedsEnqueue(t *testing.T) {
 	if _, err := s.Enqueue(req, 1); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("running job freed a pending slot: err = %v", err)
 	}
-	if err := s.MarkDone(j.ID, j.Attempts, json.RawMessage(`{}`)); err != nil {
+	if err := s.MarkDone(j.ID, j.Fence, json.RawMessage(`{}`)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Enqueue(req, 1); err != nil {

@@ -19,7 +19,7 @@ func churn(t *testing.T, s *Store) Job {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.MarkDone(run.ID, run.Attempts, nil); err != nil {
+	if err := s.MarkDone(run.ID, run.Fence, nil); err != nil {
 		t.Fatal(err)
 	}
 	return j

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -56,6 +57,10 @@ type ServerError struct {
 	Message string
 	// Body is the raw (size-limited) response body.
 	Body []byte
+	// RetryAfter is the server's backoff hint (429/503 responses): the
+	// retry_after_ms body field when present, else the Retry-After header,
+	// else zero. Callers should wait at least this long before retrying.
+	RetryAfter time.Duration
 }
 
 func (e *ServerError) Error() string {
@@ -77,7 +82,8 @@ func readServerError(resp *http.Response) *ServerError {
 	_, _ = io.Copy(io.Discard, resp.Body) // drain past the limit for connection reuse
 	msg := strings.TrimSpace(string(b))
 	var je struct {
-		Error string `json:"error"`
+		Error        string `json:"error"`
+		RetryAfterMs int64  `json:"retry_after_ms"`
 	}
 	if json.Unmarshal(b, &je) == nil && je.Error != "" {
 		msg = je.Error
@@ -85,7 +91,15 @@ func readServerError(resp *http.Response) *ServerError {
 	if msg == "" {
 		msg = http.StatusText(resp.StatusCode)
 	}
-	return &ServerError{StatusCode: resp.StatusCode, Message: msg, Body: b}
+	se := &ServerError{StatusCode: resp.StatusCode, Message: msg, Body: b}
+	if je.RetryAfterMs > 0 {
+		se.RetryAfter = time.Duration(je.RetryAfterMs) * time.Millisecond
+	} else if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
 }
 
 // decodeBody decodes a success response and leaves the connection clean.

@@ -15,6 +15,19 @@ type Metrics struct {
 		Recovered  int            `json:"recovered"`
 		// WALBytes is the job queue's write-ahead log size on disk.
 		WALBytes int64 `json:"wal_bytes"`
+		// Leased is the number of jobs currently held under a lease, and
+		// ActiveWorkers the distinct worker IDs holding them.
+		Leased        int `json:"leased"`
+		ActiveWorkers int `json:"active_workers"`
+		// LeaseReclaims counts expired-lease reclaims by the reaper, and
+		// StaleRejects transitions rejected for a stale fencing token.
+		LeaseReclaims uint64 `json:"lease_reclaims"`
+		StaleRejects  uint64 `json:"stale_rejects"`
+		// DuplicateCompletes counts idempotent /work/complete replays
+		// absorbed as no-ops; WorkerPanics counts recovered panics in
+		// in-process workers (each leaves a job for the reaper).
+		DuplicateCompletes uint64 `json:"duplicate_completes"`
+		WorkerPanics       uint64 `json:"worker_panics"`
 	} `json:"jobs"`
 	Solves SolveStats `json:"solves"`
 	// Overload describes the protection stack (breaker state, shed and

@@ -96,6 +96,20 @@ func solve(req *SolveRequest) *SolveResponse {
 	return solveParsedContext(context.Background(), parsed, req, 0)
 }
 
+// ExecuteRequest parses and solves one request with the same pipeline the
+// server's solve paths use: ctx bounds the solve (expiry yields status
+// "deadline" with the best incumbent), workers > 1 parallelizes the NLPBB
+// tree search. It exists for fleet nodes (cmd/hslbworker) that lease jobs
+// over the work protocol and execute them locally; parse errors return
+// status "error", never an error value.
+func ExecuteRequest(ctx context.Context, req *SolveRequest, workers int) *SolveResponse {
+	parsed, err := ampl.Parse(req.Model)
+	if err != nil {
+		return &SolveResponse{Status: "error", Error: err.Error()}
+	}
+	return solveParsedContext(ctx, parsed, req, workers)
+}
+
 // solveParsedContext optimizes an already-parsed request; when ctx carries a
 // deadline the solver stops there and reports status "deadline" with its
 // best incumbent. workers > 1 parallelizes the NLPBB tree search — a

@@ -82,6 +82,20 @@ type Config struct {
 	// StoreKeepHistory truncates each store key's history to its newest N
 	// commits during janitor garbage collection (0 keeps everything).
 	StoreKeepHistory int
+	// LeaseTTL is the default lease duration granted to pull workers on
+	// /work/lease (default 30s). A worker may request its own TTL, clamped
+	// to [1s, 10×LeaseTTL]. It is also the floor of the lease in-process
+	// workers take, so a panicking local worker's job is reclaimed by the
+	// reaper instead of running forever.
+	LeaseTTL time.Duration
+	// AsyncWorkers is the number of in-process workers pulling /submit
+	// jobs off the durable queue (0 = MaxConcurrent, the historical
+	// behavior; < 0 runs none, leaving the queue entirely to remote
+	// hslbworker nodes on the /work endpoints).
+	AsyncWorkers int
+	// solveHook overrides the solve path of async jobs in tests (fault
+	// injection: panics, hangs, wrong answers). nil uses solveCached.
+	solveHook func(ctx context.Context, req *SolveRequest) *SolveResponse
 }
 
 func (c Config) withDefaults() Config {
@@ -103,7 +117,37 @@ func (c Config) withDefaults() Config {
 	if c.SolveTimeout == 0 {
 		c.SolveTimeout = 120 * time.Second
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
 	return c
+}
+
+// asyncWorkers resolves the in-process worker count (see AsyncWorkers).
+func (c Config) asyncWorkers() int {
+	switch {
+	case c.AsyncWorkers < 0:
+		return 0
+	case c.AsyncWorkers == 0:
+		return c.MaxConcurrent
+	default:
+		return c.AsyncWorkers
+	}
+}
+
+// localLeaseTTL is the lease in-process workers take. It comfortably
+// exceeds the per-attempt JobTimeout, so on the healthy path the worker
+// always reports (done, failed, or requeue) before the lease lapses; the
+// TTL only fires when the worker itself died mid-attempt (a panic in the
+// solve), at which point the reaper requeues the job.
+func (c Config) localLeaseTTL() time.Duration {
+	ttl := c.LeaseTTL
+	if c.JobTimeout > 0 {
+		if t := c.JobTimeout + c.JobTimeout/2; t > ttl {
+			ttl = t
+		}
+	}
+	return ttl
 }
 
 // Server is the solve service: a solve cache plus a durable job queue in
@@ -126,6 +170,14 @@ type Server struct {
 	// warmed is how many cache entries Warm loaded from it at startup.
 	results *resultstore.Store
 	warmed  int
+	// solveFn executes one request on the async path; solveCached unless a
+	// test injected a fault hook via Config.
+	solveFn func(ctx context.Context, req *SolveRequest) *SolveResponse
+	// dupCompletes counts idempotent duplicate /work/complete no-ops;
+	// workerPanics counts recovered panics in in-process workers (each one
+	// leaves a leased job for the reaper to reclaim).
+	dupCompletes atomic.Uint64
+	workerPanics atomic.Uint64
 
 	quit      chan struct{}
 	wg        sync.WaitGroup
@@ -172,14 +224,20 @@ func NewServerWith(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.warmed = warmed
-	for i := 0; i < cfg.MaxConcurrent; i++ {
+	s.solveFn = s.solveCached
+	if cfg.solveHook != nil {
+		s.solveFn = cfg.solveHook
+	}
+	for i := 0; i < cfg.asyncWorkers(); i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(fmt.Sprintf("local-%d", i))
 	}
 	if cfg.JobTTL > 0 {
 		s.wg.Add(1)
 		go s.janitor()
 	}
+	s.wg.Add(1)
+	go s.reaper()
 	return s, nil
 }
 
@@ -226,6 +284,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /blob/{hash}", s.handleBlob)
 	mux.HandleFunc("GET /history/{key...}", s.handleHistory)
+	mux.HandleFunc("POST /work/lease", s.handleWorkLease)
+	mux.HandleFunc("POST /work/renew", s.handleWorkRenew)
+	mux.HandleFunc("POST /work/complete", s.handleWorkComplete)
+	mux.HandleFunc("POST /work/fail", s.handleWorkFail)
 	return mux
 }
 
@@ -498,6 +560,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Jobs.QueueDepth = counts[jobstore.Queued]
 	m.Jobs.Recovered = s.store.Recovered()
 	m.Jobs.WALBytes = s.store.WALSize()
+	ls := s.store.LeaseStats()
+	m.Jobs.Leased = ls.Leased
+	m.Jobs.ActiveWorkers = ls.ActiveWorkers
+	m.Jobs.LeaseReclaims = ls.Reclaims
+	m.Jobs.StaleRejects = ls.StaleRejects
+	m.Jobs.DuplicateCompletes = s.dupCompletes.Load()
+	m.Jobs.WorkerPanics = s.workerPanics.Load()
 	m.Jobs.Counts = map[string]int{}
 	for st, n := range counts {
 		m.Jobs.Counts[string(st)] = n
@@ -508,9 +577,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // worker pulls jobs off the durable queue and executes them until Close.
-// With the breaker open it idles instead of dequeuing, so a pathological
-// model class stops consuming attempts and cores on the async path too.
-func (s *Server) worker() {
+// Jobs are claimed through the same lease/fencing mechanism remote
+// workers use: each claim issues a fencing token and a TTL, so if the
+// worker dies mid-attempt (a recovered panic) the reaper requeues the job
+// after the TTL instead of letting it run forever. With the breaker open
+// the worker idles instead of leasing, so a pathological model class
+// stops consuming attempts and cores on the async path too.
+func (s *Server) worker(id string) {
 	defer s.wg.Done()
 	for {
 		select {
@@ -526,7 +599,7 @@ func (s *Server) worker() {
 			}
 			continue
 		}
-		job, wait, err := s.store.Dequeue()
+		job, wait, err := s.store.Lease(id, s.cfg.localLeaseTTL())
 		if err != nil || job == nil {
 			var backoff <-chan time.Time
 			if wait > 0 {
@@ -544,15 +617,47 @@ func (s *Server) worker() {
 	}
 }
 
+// reaper periodically requeues jobs whose lease lapsed — a crashed remote
+// worker, a renewal partition, or a panicked local worker. Lease() also
+// reaps inline, so the ticker only bounds reclaim latency when no worker
+// is polling.
+func (s *Server) reaper() {
+	defer s.wg.Done()
+	interval := s.cfg.LeaseTTL / 4
+	if interval > time.Second {
+		interval = time.Second
+	}
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-tick.C:
+			_, _ = s.store.ReapExpired()
+		}
+	}
+}
+
 // runJob executes one attempt of a claimed job. JobTimeout does not cancel
 // the solve mid-flight, it abandons the attempt — the solver goroutine
 // keeps running (bounded by SolveTimeout) and at most warms the cache —
-// and the attempt-guarded store transitions keep the abandoned result from
-// clobbering a retry.
+// and the fence-guarded store transitions keep the abandoned result from
+// clobbering a retry. A panic anywhere in the attempt is recovered: the
+// worker survives, the job stays leased, and the reaper requeues it when
+// the lease lapses.
 func (s *Server) runJob(job *jobstore.Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.workerPanics.Add(1)
+		}
+	}()
 	var req SolveRequest
 	if err := json.Unmarshal(job.Request, &req); err != nil {
-		_ = s.store.MarkFailed(job.ID, job.Attempts, "corrupt request: "+err.Error())
+		_ = s.store.MarkFailed(job.ID, job.Fence, "corrupt request: "+err.Error())
 		return
 	}
 	// Propagate the job's own deadline, capped by SolveTimeout inside the
@@ -567,12 +672,24 @@ func (s *Server) runJob(job *jobstore.Job) {
 	done := make(chan *SolveResponse, 1)
 	go func() {
 		defer cancel()
-		done <- s.solveCached(ctx, &req)
+		defer func() {
+			if r := recover(); r != nil {
+				// The attempt dies silently: no send on done, so the lease
+				// lapses and the reaper requeues the job for a retry.
+				s.workerPanics.Add(1)
+			}
+		}()
+		done <- s.solveFn(ctx, &req)
 	}()
 	var timeout <-chan time.Time
 	if s.cfg.JobTimeout > 0 {
 		timeout = time.After(s.cfg.JobTimeout)
 	}
+	// The lease backstop frees this worker if the attempt outlives its
+	// lease with JobTimeout disabled (or the solve goroutine panicked);
+	// by then the token may already be stale, and that is fine — every
+	// transition below tolerates ErrStaleLease.
+	leaseLapsed := time.After(s.cfg.localLeaseTTL())
 	select {
 	case resp := <-done:
 		s.recordAttempt(job, resp)
@@ -583,9 +700,16 @@ func (s *Server) runJob(job *jobstore.Job) {
 		case resp := <-done:
 			s.recordAttempt(job, resp)
 		default:
-			_, _ = s.store.Requeue(job.ID, job.Attempts,
+			_, _ = s.store.Requeue(job.ID, job.Fence,
 				fmt.Sprintf("attempt %d timed out after %v", job.Attempts, s.cfg.JobTimeout),
 				s.cfg.RetryBackoff)
+		}
+	case <-leaseLapsed:
+		select {
+		case resp := <-done:
+			s.recordAttempt(job, resp)
+		default:
+			// Abandon: the reaper owns the job now.
 		}
 	}
 }
@@ -594,15 +718,15 @@ func (s *Server) recordAttempt(job *jobstore.Job, resp *SolveResponse) {
 	if resp.Status == "error" {
 		// Parse and solver errors are deterministic: retrying cannot
 		// help, so fail permanently.
-		_ = s.store.MarkFailed(job.ID, job.Attempts, resp.Error)
+		_ = s.store.MarkFailed(job.ID, job.Fence, resp.Error)
 		return
 	}
 	payload, err := json.Marshal(resp)
 	if err != nil {
-		_ = s.store.MarkFailed(job.ID, job.Attempts, "encode result: "+err.Error())
+		_ = s.store.MarkFailed(job.ID, job.Fence, "encode result: "+err.Error())
 		return
 	}
-	_ = s.store.MarkDone(job.ID, job.Attempts, payload)
+	_ = s.store.MarkDone(job.ID, job.Fence, payload)
 }
 
 // janitor evicts completed jobs past their TTL.
