@@ -1,18 +1,32 @@
-// Command hslbbench times the two HSLB hot paths — the benchmark-gathering
-// campaign and the NLP-based branch-and-bound solve — sequentially and with
-// the worker pools enabled, verifies that both settings produce identical
-// results, and writes the measurements to a JSON report.
+// Command hslbbench times the three HSLB hot paths — the benchmark-gathering
+// campaign, the deterministic NLP-based branch-and-bound solve, and the
+// racing-mode portfolio solve — sequentially and with the worker pools
+// enabled, verifies the determinism contracts of each stage, and writes the
+// measurements to a JSON report.
 //
 // The gather stage simulates the paper's step 1 at 1°: a sampling plan of
 // node counts with repeated runs, each attempt charged a configurable
 // simulated machine wall-clock (-run-latency) so the worker pool has real
 // latency to hide, exactly like a queue of batch jobs on Yellowstone. The
-// solve stage runs the Table I MINLP with NLP-BB across a ladder of node
-// budgets N = 128..2048.
+// deterministic-solve stage runs the Table I MINLP with NLP-BB across a
+// ladder of node budgets N = 128..2048; the parallel tree search replays the
+// sequential visit order, so allocations must match exactly. The race stage
+// first replays the fixed agreement ladder (Table I shapes with and without
+// selection sets), asserting bit-identical X/Obj between sequential and
+// racing mode, then times both modes on a larger free ladder where the race
+// pays off; objectives of both modes are reported for that ladder.
+//
+// The -min-race-speedup gate (default 1.5) is enforced only when the host
+// exposes at least 4 CPUs: race mode buys wall-clock through hardware
+// parallelism, and on 1-CPU CI runners the contenders merely timeshare, so
+// the gate is skipped there with the reason logged and recorded in the
+// report. -stages selects a subset of stages; `make verify` uses
+// "gather,race" so the gate runs on every change without paying for the
+// long deterministic ladder.
 //
 // Usage:
 //
-//	hslbbench -workers 8 -o BENCH_parallel.json
+//	hslbbench -workers 4 -o BENCH_parallel.json
 package main
 
 import (
@@ -29,15 +43,45 @@ import (
 	"hslb/internal/bench"
 	"hslb/internal/cesm"
 	"hslb/internal/core"
+	"hslb/internal/expr"
 	"hslb/internal/minlp"
+	"hslb/internal/model"
 	"hslb/internal/perf"
 )
 
-type stageResult struct {
-	Stage             string  `json:"stage"`
+type raceRung struct {
+	Model             string  `json:"model"`
 	SequentialSeconds float64 `json:"sequential_seconds"`
-	ParallelSeconds   float64 `json:"parallel_seconds"`
+	RaceSeconds       float64 `json:"race_seconds"`
+	SequentialObj     float64 `json:"sequential_obj"`
+	RaceObj           float64 `json:"race_obj"`
 	Speedup           float64 `json:"speedup"`
+	Winner            string  `json:"winner"`
+}
+
+type raceTotals struct {
+	Steals           int64          `json:"steals"`
+	IncumbentUpdates int64          `json:"incumbent_updates"`
+	Winners          map[string]int `json:"winners"`
+}
+
+type stageResult struct {
+	Stage             string      `json:"stage"`
+	ParallelMode      string      `json:"parallel_mode"`
+	SequentialSeconds float64     `json:"sequential_seconds"`
+	ParallelSeconds   float64     `json:"parallel_seconds"`
+	Speedup           float64     `json:"speedup"`
+	Identical         *bool       `json:"identical,omitempty"`
+	AgreementLadder   *bool       `json:"agreement_ladder_identical,omitempty"`
+	Rungs             []raceRung  `json:"rungs,omitempty"`
+	Race              *raceTotals `json:"race,omitempty"`
+}
+
+type gateResult struct {
+	MinRaceSpeedup float64 `json:"min_race_speedup"`
+	Enforced       bool    `json:"enforced"`
+	Passed         *bool   `json:"passed,omitempty"`
+	SkipReason     string  `json:"skip_reason,omitempty"`
 }
 
 type report struct {
@@ -45,7 +89,9 @@ type report struct {
 	Date       string        `json:"date"`
 	Workers    int           `json:"workers"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
+	CPUs       int           `json:"cpus"`
 	Stages     []stageResult `json:"stages"`
+	Gate       *gateResult   `json:"race_speedup_gate,omitempty"`
 }
 
 func gitSHA() string {
@@ -80,8 +126,8 @@ func benchGather(workers int, latency time.Duration) (*bench.Data, float64) {
 	return data, time.Since(start).Seconds()
 }
 
-// benchSolve times the NLP-BB solve ladder at the given worker count and
-// returns the chosen allocations for the identity check.
+// benchSolve times the deterministic NLP-BB ladder at the given worker
+// count and returns the chosen allocations for the identity check.
 func benchSolve(workers int, models map[cesm.Component]perf.Model) ([]cesm.Allocation, float64) {
 	opt := minlp.Options{Algorithm: minlp.NLPBB, BranchSOS: true, RelGap: 1e-4, Workers: workers}
 	var allocs []cesm.Allocation
@@ -100,58 +146,253 @@ func benchSolve(workers int, models map[cesm.Component]perf.Model) ([]cesm.Alloc
 	return allocs, time.Since(start).Seconds()
 }
 
+// tableIModel mirrors the Table I instance shape the way internal/core
+// builds it (and the race agreement corpus in internal/minlp uses it):
+// integer node counts per component, a continuous makespan T, capacity
+// coupling, and optional hardware-legal selection sets on two components.
+func tableIModel(total int, constrain bool) *model.Model {
+	m := model.New()
+	T := m.AddVar("T", model.Continuous, 0, 1e9)
+	comps := []struct {
+		a, d float64
+	}{
+		{3157.2, 12.4}, {8464.1, 4.9}, {1214.9, 41.6}, {5419.7, 8.2},
+	}
+	var caps []expr.Expr
+	for i, c := range comps {
+		n := m.AddVar(fmt.Sprintf("n%d", i), model.Integer, 1, float64(total))
+		ti := expr.Sum(expr.Div{Num: expr.C(c.a), Den: n}, expr.C(c.d))
+		m.AddConstraint(fmt.Sprintf("t%d", i), expr.Sub(ti, T), model.LE, 0)
+		caps = append(caps, n)
+		if constrain && i < 2 {
+			m.AddSelectionSet(fmt.Sprintf("set%d", i), n,
+				[]float64{2, 4, 8, 16, 24, 48, 96})
+		}
+	}
+	m.AddConstraint("cap", expr.Sum(caps...), model.LE, float64(total))
+	m.SetObjective(T, model.Minimize)
+	return m
+}
+
+// raceAgreementLadder replays the contractual part of the race agreement
+// corpus: on these models race mode must return the sequential answer
+// bit-identically, regardless of scheduling.
+func raceAgreementLadder(workers int) {
+	ladder := []struct {
+		name string
+		m    *model.Model
+		opt  minlp.Options
+	}{
+		{"tableI-128-free", tableIModel(128, false), minlp.Options{Algorithm: minlp.NLPBB}},
+		{"tableI-128-sets", tableIModel(128, true), minlp.Options{Algorithm: minlp.NLPBB, BranchSOS: true}},
+		{"tableI-96-sets-oa", tableIModel(96, true), minlp.Options{Algorithm: minlp.OuterApprox, BranchSOS: true}},
+	}
+	for _, tc := range ladder {
+		seq, err := minlp.Solve(tc.m, tc.opt)
+		if err != nil {
+			fatalf("race agreement %s: sequential: %v", tc.name, err)
+		}
+		opt := tc.opt
+		opt.Race = true
+		opt.Workers = workers
+		r, err := minlp.Solve(tc.m, opt)
+		if err != nil {
+			fatalf("race agreement %s: race: %v", tc.name, err)
+		}
+		if r.Obj != seq.Obj {
+			fatalf("race agreement %s: obj %v != sequential %v (must be bit-identical)",
+				tc.name, r.Obj, seq.Obj)
+		}
+		for i := range r.X {
+			if r.X[i] != seq.X[i] {
+				fatalf("race agreement %s: X[%d] = %v != sequential %v",
+					tc.name, i, r.X[i], seq.X[i])
+			}
+		}
+	}
+}
+
+// benchRace times sequential NLP-BB against racing mode on a free Table I
+// ladder large enough for the portfolio to pay for itself. The two modes
+// may prune differently on these deep trees, so both objectives are
+// recorded instead of asserted identical; the bit-identity contract is
+// checked by raceAgreementLadder on the corpus-family models.
+func benchRace(workers int) ([]raceRung, *raceTotals, float64, float64) {
+	totals := &raceTotals{Winners: map[string]int{}}
+	var rungs []raceRung
+	var seqTotal, raceTotal float64
+	for _, total := range []int{1024, 2048, 4096} {
+		opt := minlp.Options{Algorithm: minlp.NLPBB}
+		start := time.Now()
+		seq, err := minlp.Solve(tableIModel(total, false), opt)
+		if err != nil {
+			fatalf("race ladder total=%d: sequential: %v", total, err)
+		}
+		seqSec := time.Since(start).Seconds()
+
+		ropt := opt
+		ropt.Race = true
+		ropt.Workers = workers
+		start = time.Now()
+		r, err := minlp.Solve(tableIModel(total, false), ropt)
+		if err != nil {
+			fatalf("race ladder total=%d: race: %v", total, err)
+		}
+		raceSec := time.Since(start).Seconds()
+		if r.Race == nil {
+			fatalf("race ladder total=%d: no race stats on result", total)
+		}
+
+		rungs = append(rungs, raceRung{
+			Model:             fmt.Sprintf("tableI-%d-free", total),
+			SequentialSeconds: seqSec,
+			RaceSeconds:       raceSec,
+			SequentialObj:     seq.Obj,
+			RaceObj:           r.Obj,
+			Speedup:           seqSec / raceSec,
+			Winner:            r.Race.Winner,
+		})
+		totals.Steals += r.Race.Steals
+		totals.IncumbentUpdates += r.Race.IncumbentUpdates
+		totals.Winners[r.Race.Winner]++
+		seqTotal += seqSec
+		raceTotal += raceSec
+	}
+	return rungs, totals, seqTotal, raceTotal
+}
+
 func main() {
 	defWorkers := runtime.GOMAXPROCS(0)
 	if defWorkers < 4 {
 		// Latency hiding in the gather stage needs workers, not cores; on
-		// small machines a pool of 4 still demonstrates the overlap.
+		// small machines a pool of 4 still demonstrates the overlap, and
+		// race-mode Workers clamps to GOMAXPROCS, so the scheduler width is
+		// raised to match below.
 		defWorkers = 4
 	}
-	workers := flag.Int("workers", defWorkers, "parallel worker count for both stages")
+	workers := flag.Int("workers", defWorkers, "parallel worker count for all stages")
 	latency := flag.Duration("run-latency", 25*time.Millisecond, "simulated machine wall-clock per benchmark attempt")
+	minRaceSpeedup := flag.Float64("min-race-speedup", 1.5, "minimum race-stage speedup required when the host has >= 4 CPUs (0 disables)")
+	stagesFlag := flag.String("stages", "gather,det,race", "comma-separated stages to run (gather, det, race)")
 	out := flag.String("o", "BENCH_parallel.json", "output report path")
 	flag.Parse()
 	if *workers < 2 {
 		fatalf("-workers must be >= 2 to compare against sequential")
 	}
-
-	// Stage 1: gather. Identical Data is part of the contract, so the
-	// timing comparison doubles as a determinism check.
-	seqData, seqGather := benchGather(1, *latency)
-	parData, parGather := benchGather(*workers, *latency)
-	if !reflect.DeepEqual(seqData, parData) {
-		fatalf("parallel gather changed the benchmark data (workers=%d)", *workers)
+	if runtime.GOMAXPROCS(0) < *workers {
+		runtime.GOMAXPROCS(*workers)
 	}
-	fmt.Printf("gather: sequential %.3fs, %d workers %.3fs (%.2fx)\n",
-		seqGather, *workers, parGather, seqGather/parGather)
-
-	// Stage 2: solve. Fit the gathered data once, then time the NLP-BB
-	// ladder at both worker counts.
-	fits, err := seqData.FitAll(perf.FitOptions{})
-	if err != nil {
-		fatalf("fit: %v", err)
-	}
-	models := bench.Models(fits)
-	seqAllocs, seqSolve := benchSolve(1, models)
-	parAllocs, parSolve := benchSolve(*workers, models)
-	for i := range seqAllocs {
-		if seqAllocs[i] != parAllocs[i] {
-			fatalf("parallel solve changed the allocation at ladder rung %d: %v vs %v",
-				i, seqAllocs[i], parAllocs[i])
+	stages := map[string]bool{}
+	for _, s := range strings.Split(*stagesFlag, ",") {
+		switch s = strings.TrimSpace(s); s {
+		case "gather", "det", "race":
+			stages[s] = true
+		case "":
+		default:
+			fatalf("unknown stage %q (want gather, det, race)", s)
 		}
 	}
-	fmt.Printf("solve:  sequential %.3fs, %d workers %.3fs (%.2fx)\n",
-		seqSolve, *workers, parSolve, seqSolve/parSolve)
+	if len(stages) == 0 {
+		fatalf("-stages selected nothing")
+	}
+
+	yes := true
+	var results []stageResult
+
+	// Stage 1: gather. Identical Data is part of the contract, so the
+	// timing comparison doubles as a determinism check. The solve stage
+	// consumes the gathered data, so it is collected (untimed, parallel)
+	// even when the gather stage itself is skipped.
+	var seqData *bench.Data
+	if stages["gather"] {
+		var seqGather, parGather float64
+		var parData *bench.Data
+		seqData, seqGather = benchGather(1, *latency)
+		parData, parGather = benchGather(*workers, *latency)
+		if !reflect.DeepEqual(seqData, parData) {
+			fatalf("parallel gather changed the benchmark data (workers=%d)", *workers)
+		}
+		fmt.Printf("gather:       sequential %.3fs, %d workers %.3fs (%.2fx)\n",
+			seqGather, *workers, parGather, seqGather/parGather)
+		results = append(results, stageResult{
+			Stage: "gather", ParallelMode: fmt.Sprintf("pool workers=%d", *workers),
+			SequentialSeconds: seqGather, ParallelSeconds: parGather,
+			Speedup: seqGather / parGather, Identical: &yes})
+	} else if stages["det"] {
+		seqData, _ = benchGather(*workers, 0)
+	}
+
+	// Stage 2: deterministic solve. Fit the gathered data once, then time
+	// the NLP-BB ladder at both worker counts; the prefetching tree search
+	// replays the sequential visit order, so allocations must match.
+	if stages["det"] {
+		fits, err := seqData.FitAll(perf.FitOptions{})
+		if err != nil {
+			fatalf("fit: %v", err)
+		}
+		models := bench.Models(fits)
+		seqAllocs, seqSolve := benchSolve(1, models)
+		parAllocs, parSolve := benchSolve(*workers, models)
+		for i := range seqAllocs {
+			if seqAllocs[i] != parAllocs[i] {
+				fatalf("parallel solve changed the allocation at ladder rung %d: %v vs %v",
+					i, seqAllocs[i], parAllocs[i])
+			}
+		}
+		fmt.Printf("solve (det):  sequential %.3fs, %d workers %.3fs (%.2fx)\n",
+			seqSolve, *workers, parSolve, seqSolve/parSolve)
+		results = append(results, stageResult{
+			Stage: "solve-deterministic", ParallelMode: fmt.Sprintf("prefetch workers=%d", *workers),
+			SequentialSeconds: seqSolve, ParallelSeconds: parSolve,
+			Speedup: seqSolve / parSolve, Identical: &yes})
+	}
+
+	// Stage 3: racing mode. Bit-identity on the agreement ladder first,
+	// then the timing ladder.
+	var gate *gateResult
+	if stages["race"] {
+		raceAgreementLadder(*workers)
+		rungs, totals, seqRace, parRace := benchRace(*workers)
+		raceSpeedup := seqRace / parRace
+		for _, r := range rungs {
+			fmt.Printf("  %-18s seq %6.3fs obj %.6f | race %6.3fs obj %.6f (%.2fx, winner %s)\n",
+				r.Model, r.SequentialSeconds, r.SequentialObj, r.RaceSeconds, r.RaceObj, r.Speedup, r.Winner)
+		}
+		fmt.Printf("solve (race): sequential %.3fs, race %d workers %.3fs (%.2fx), %d steals, %d incumbent updates\n",
+			seqRace, *workers, parRace, raceSpeedup, totals.Steals, totals.IncumbentUpdates)
+		results = append(results, stageResult{
+			Stage: "solve-race", ParallelMode: fmt.Sprintf("race workers=%d", *workers),
+			SequentialSeconds: seqRace, ParallelSeconds: parRace,
+			Speedup: raceSpeedup, AgreementLadder: &yes, Rungs: rungs, Race: totals})
+
+		// The speedup gate needs hardware parallelism to mean anything: on
+		// a 1-CPU runner the contenders timeshare one core and any speedup
+		// is algorithmic luck, so the gate is skipped with the reason
+		// recorded.
+		gate = &gateResult{MinRaceSpeedup: *minRaceSpeedup}
+		switch {
+		case *minRaceSpeedup <= 0:
+			gate.SkipReason = "disabled by -min-race-speedup=0"
+		case runtime.NumCPU() < 4:
+			gate.SkipReason = fmt.Sprintf("NumCPU=%d < 4: no hardware parallelism to measure", runtime.NumCPU())
+		default:
+			gate.Enforced = true
+			passed := raceSpeedup >= *minRaceSpeedup
+			gate.Passed = &passed
+		}
+		if gate.SkipReason != "" {
+			fmt.Printf("skipping race speedup gate: %s\n", gate.SkipReason)
+		}
+	}
 
 	rep := report{
 		GitSHA:     gitSHA(),
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Workers:    *workers,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Stages: []stageResult{
-			{Stage: "gather", SequentialSeconds: seqGather, ParallelSeconds: parGather, Speedup: seqGather / parGather},
-			{Stage: "solve", SequentialSeconds: seqSolve, ParallelSeconds: parSolve, Speedup: seqSolve / parSolve},
-		},
+		CPUs:       runtime.NumCPU(),
+		Stages:     results,
+		Gate:       gate,
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -161,4 +402,9 @@ func main() {
 		fatalf("write %s: %v", *out, err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if gate != nil && gate.Enforced && !*gate.Passed {
+		fatalf("race speedup below required %.2fx at %d workers (NumCPU=%d)",
+			*minRaceSpeedup, *workers, runtime.NumCPU())
+	}
 }

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +51,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-attempt timeout for async jobs")
 	solveTimeout := flag.Duration("solve-timeout", 120*time.Second, "wall-clock budget per solver invocation; on expiry the best incumbent is returned with status \"deadline\" (<0 disables)")
 	solveWorkers := flag.Int("solve-workers", 1, "parallel tree-search workers per NLPBB solve (results are identical at any setting)")
+	solveMode := flag.String("solve-mode", neos.SolveModeDeterministic, "\"deterministic\" runs the requested algorithm sequentially; \"race\" runs the portfolio racer (work-stealing NLPBB + OA + exhaustive search) and returns the same answers faster")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (e.g. localhost:6060; empty = profiling off)")
 	maxAttempts := flag.Int("max-attempts", 3, "executions per async job before it is marked failed")
 	jobTTL := flag.Duration("job-ttl", time.Hour, "retention of completed jobs")
 	syncWAL := flag.Bool("fsync", false, "fsync the WAL on every job transition")
@@ -78,6 +81,7 @@ func main() {
 		JobTTL:           *jobTTL,
 		SolveTimeout:     *solveTimeout,
 		SolveWorkers:     *solveWorkers,
+		SolveMode:        *solveMode,
 		MaxPendingJobs:   *maxPendingJobs,
 		LeaseTTL:         *leaseTTL,
 		AsyncWorkers:     *asyncWorkers,
@@ -100,6 +104,25 @@ func main() {
 		log.Printf("recovered %d in-flight job(s) from %s", n, *dataDir)
 	}
 
+	// Profiling stays off the service port and off by default: the standard
+	// library's DefaultServeMux registration would expose /debug/pprof to
+	// anyone who can reach the solver, so the handlers are mounted on their
+	// own mux bound to -pprof-addr only when asked for.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -111,8 +134,8 @@ func main() {
 	if *dataDir != "" {
 		durability = "WAL in " + *dataDir
 	}
-	fmt.Printf("hslbserver listening on %s (max %d concurrent solves, %s)\n",
-		*addr, *concurrency, durability)
+	fmt.Printf("hslbserver listening on %s (max %d concurrent solves, %s mode, %s)\n",
+		*addr, *concurrency, *solveMode, durability)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

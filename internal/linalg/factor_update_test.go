@@ -1,0 +1,175 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// factorDiff returns the max abs elementwise difference of the lower
+// triangles of two Cholesky factors.
+func factorDiff(a, b *Cholesky) float64 {
+	n := a.l.Rows
+	d := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if e := math.Abs(a.l.At(i, j) - b.l.At(i, j)); e > d {
+				d = e
+			}
+		}
+	}
+	return d
+}
+
+// addRank1 returns a + sign·v·vᵀ.
+func addRank1(a *Matrix, v Vector, sign float64) *Matrix {
+	n := a.Rows
+	out := a.Clone()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, out.At(i, j)+sign*v[i]*v[j])
+		}
+	}
+	return out
+}
+
+// TestCholeskyUpdateMatchesRefactor: the O(n²) rank-1 patched factor must
+// equal the factor of the explicitly updated matrix (the Cholesky factor
+// with positive diagonal is unique, so elementwise comparison is legal).
+func TestCholeskyUpdateMatchesRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		a := randSPD(rng, n)
+		c, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		v := make(Vector, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		if err := c.Update(v); err != nil {
+			t.Fatalf("n=%d: update: %v", n, err)
+		}
+		want, err := FactorCholesky(addRank1(a, v, +1))
+		if err != nil {
+			t.Fatalf("n=%d: refactor: %v", n, err)
+		}
+		if d := factorDiff(c, want); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: patched factor differs from refactor by %g", n, d)
+		}
+	}
+}
+
+// TestCholeskyDowndateMatchesRefactor: remove the same vector that was
+// added and compare against a scratch factorization of A − v·vᵀ.
+func TestCholeskyDowndateMatchesRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		a := randSPD(rng, n)
+		v := make(Vector, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 0.3 // small enough to stay SPD
+		}
+		up := addRank1(a, v, +1)
+		c, err := FactorCholesky(up)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := c.Downdate(v); err != nil {
+			t.Fatalf("n=%d: downdate: %v", n, err)
+		}
+		want, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: refactor: %v", n, err)
+		}
+		if d := factorDiff(c, want); d > 1e-7*float64(n) {
+			t.Fatalf("n=%d: downdated factor differs from refactor by %g", n, d)
+		}
+	}
+}
+
+// TestCholeskyUpdateSolveRoundTrip: a factor dragged through a chain of
+// updates and downdates must still solve linear systems against the
+// explicitly accumulated matrix.
+func TestCholeskyUpdateSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 16
+	a := randSPD(rng, n)
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []Vector
+	for step := 0; step < 12; step++ {
+		if len(history) > 0 && rng.Intn(3) == 0 {
+			v := history[len(history)-1]
+			history = history[:len(history)-1]
+			if err := c.Downdate(v); err != nil {
+				t.Fatalf("step %d: downdate: %v", step, err)
+			}
+			a = addRank1(a, v, -1)
+		} else {
+			v := make(Vector, n)
+			for i := range v {
+				v[i] = rng.NormFloat64() * 0.5
+			}
+			history = append(history, v)
+			if err := c.Update(v); err != nil {
+				t.Fatalf("step %d: update: %v", step, err)
+			}
+			a = addRank1(a, v, +1)
+		}
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := c.Solve(b)
+		if err != nil {
+			t.Fatalf("step %d: solve: %v", step, err)
+		}
+		// Check A·x = b against the accumulated matrix.
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * x[j]
+			}
+			if math.Abs(s-b[i]) > 1e-6 {
+				t.Fatalf("step %d: residual %g at row %d", step, s-b[i], i)
+			}
+		}
+	}
+}
+
+// TestCholeskyDowndateLosesDefiniteness: removing more curvature than the
+// matrix holds must fail loudly, not corrupt silently.
+func TestCholeskyDowndateLosesDefiniteness(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Downdate(Vector{2, 0}); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+// TestCholeskyUpdateDimension: mismatched vector lengths are rejected.
+func TestCholeskyUpdateDimension(t *testing.T) {
+	a := randSPD(rand.New(rand.NewSource(6)), 3)
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(Vector{1, 2}); err != ErrDimension {
+		t.Fatalf("update err = %v, want ErrDimension", err)
+	}
+	if err := c.Downdate(Vector{1, 2, 3, 4}); err != ErrDimension {
+		t.Fatalf("downdate err = %v, want ErrDimension", err)
+	}
+	if got := c.Size(); got != 3 {
+		t.Fatalf("size = %d, want 3", got)
+	}
+}

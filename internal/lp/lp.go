@@ -137,12 +137,19 @@ type tableau struct {
 // Solve optimizes the problem. The returned solution's X has length
 // p.NumVars.
 func Solve(p *Problem) (*Solution, error) {
+	sol, _, err := solveKeep(p)
+	return sol, err
+}
+
+// solveKeep is Solve, but also returns the final tableau when the solve
+// ended Optimal (nil otherwise), so a WarmSolver can continue from it.
+func solveKeep(p *Problem) (*Solution, *tableau, error) {
 	if err := validate(p); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	t, err := build(p)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Phase 1: minimize the sum of artificial variables.
@@ -152,10 +159,10 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 	st := t.run(phase1)
 	if st == IterationLimit {
-		return &Solution{Status: IterationLimit}, nil
+		return &Solution{Status: IterationLimit}, nil, nil
 	}
 	if t.objValue(phase1) > feasTol {
-		return &Solution{Status: Infeasible}, nil
+		return &Solution{Status: Infeasible}, nil, nil
 	}
 	// Pin artificials to zero so phase 2 cannot reuse them.
 	for j := t.nStruct + t.nSlack; j < t.n; j++ {
@@ -167,16 +174,21 @@ func Solve(p *Problem) (*Solution, error) {
 	st = t.run(t.objCost)
 	switch st {
 	case Unbounded:
-		return &Solution{Status: Unbounded}, nil
+		return &Solution{Status: Unbounded}, nil, nil
 	case IterationLimit:
-		return &Solution{Status: IterationLimit}, nil
+		return &Solution{Status: IterationLimit}, nil, nil
 	}
+	return t.solution(p), t, nil
+}
+
+// solution packages the tableau's current (optimal) point for the caller.
+func (t *tableau) solution(p *Problem) *Solution {
 	x := t.extract()
 	obj := 0.0
 	for j := 0; j < p.NumVars; j++ {
 		obj += p.Obj[j] * x[j]
 	}
-	return &Solution{Status: Optimal, X: x[:p.NumVars], Obj: obj, Duals: t.duals()}, nil
+	return &Solution{Status: Optimal, X: x[:p.NumVars], Obj: obj, Duals: t.duals()}
 }
 
 // duals recovers the constraint shadow prices y = c_Bᵀ·B⁻¹ from the final

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"hslb/internal/expr"
 	"hslb/internal/lp"
@@ -75,9 +76,26 @@ type Options struct {
 	// pre-solves the nodes most likely to be visited next (see
 	// solveNLPBBPar). The returned X, Obj, Nodes and NLPSolves are
 	// bit-identical for every worker count. 0 or 1 means the historical
-	// sequential search. OuterApprox ignores Workers: its cut pool grows
-	// as a side effect of every NLP solve, which is unsafe to reorder.
+	// sequential search. OuterApprox ignores Workers — its cut pool grows
+	// as a side effect of every NLP solve, which is unsafe to reorder —
+	// and the solver records that no-op in Result.Warnings (see
+	// WarnOAWorkers). Negative values are treated as 0; values above a
+	// sane ceiling are clamped (in Race mode, to GOMAXPROCS: extra
+	// workers past the scheduler's parallelism only add contention).
 	Workers int
+	// Race selects the racing parallel mode. Instead of replaying the
+	// sequential search, a portfolio of solvers runs concurrently — a
+	// work-stealing NLP branch-and-bound whose workers own disjoint
+	// subtrees and prune against one shared incumbent, outer
+	// approximation (when Algorithm is OuterApprox), and on small
+	// instances an exhaustive enumeration — and the first contender to
+	// certify a result wins; the losers are cancelled. Node and solve
+	// counts become schedule-dependent, but every Optimal answer is
+	// normalized by a canonical finishing solve (see canonicalFinish), so
+	// for models whose optimum is unique within the pruning gap the
+	// returned X and Obj are bit-identical to the sequential solver's at
+	// any worker count. Result.Race reports how the race was won.
+	Race bool
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +110,25 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 100000
+	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
+	// maxWorkers is a sanity ceiling for the deterministic prefetch pool:
+	// each worker holds at most a node clone, but channel buffers and the
+	// speculation window scale with the count, and thousands of workers
+	// have no physical backing anywhere this runs.
+	const maxWorkers = 256
+	if o.Workers > maxWorkers {
+		o.Workers = maxWorkers
+	}
+	if o.Race {
+		if o.Workers == 0 {
+			o.Workers = 1
+		}
+		if gmp := runtime.GOMAXPROCS(0); o.Workers > gmp {
+			o.Workers = gmp
+		}
 	}
 	return o
 }
@@ -134,7 +171,24 @@ type Result struct {
 	NLPSolves int       // NLP subproblem count (OuterApprox) or node count (NLPBB)
 	Cuts      int       // outer-approximation cuts added (OuterApprox only)
 	Presolve  PresolveStats
+	// Warnings lists configuration requests the solver could not honor
+	// (e.g. WarnOAWorkers). The answer itself is unaffected.
+	Warnings []string
+	// Race reports how a racing solve was won; nil outside Options.Race.
+	Race *RaceStats
+	// LPWarm reports warm-start activity of the outer-approximation node
+	// LPs (zero for NLPBB, which solves no LPs).
+	LPWarm lp.WarmStats
 }
+
+// WarnOAWorkers is recorded in Result.Warnings when Workers > 1 is
+// requested with OuterApprox outside race mode. The setting is a
+// documented no-op there: the OA cut pool grows as a side effect of every
+// NLP solve, so reordering those solves across workers would change the
+// relaxations (and with them the certified answer). Use Options.Race for
+// a parallel search, or Algorithm NLPBB for the deterministic prefetch
+// pool.
+const WarnOAWorkers = "minlp: Workers > 1 is a no-op for OuterApprox (cut generation is order-dependent); use Race mode or NLPBB"
 
 // ErrNonlinearEquality is returned for models with nonlinear equality
 // constraints, which break the convexity assumptions of both algorithms.
@@ -168,8 +222,10 @@ func SolveContext(ctx context.Context, m *model.Model, opt Options) (*Result, er
 		return &Result{Status: Infeasible, Presolve: ps}, nil
 	}
 	var res *Result
-	switch opt.Algorithm {
-	case NLPBB:
+	switch {
+	case opt.Race:
+		res, err = solveRace(ctx, w, opt)
+	case opt.Algorithm == NLPBB:
 		res, err = solveNLPBB(ctx, w, opt)
 	default:
 		res, err = solveOA(ctx, w, opt)
@@ -177,8 +233,220 @@ func SolveContext(ctx context.Context, m *model.Model, opt Options) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	if !opt.Race && opt.Algorithm != NLPBB && opt.Workers > 1 {
+		res.Warnings = append(res.Warnings, WarnOAWorkers)
+	}
+	// Canonical finish: re-solve the winning integer assignment's NLP from
+	// a deterministic start, so the continuous part of every Optimal
+	// answer is a pure function of that assignment rather than of the
+	// search schedule that produced it.
+	if res.Status == Optimal && res.X != nil {
+		if cx, cobj, ok := canonicalFinish(w, opt, res.X); ok {
+			if res.Race != nil {
+				res.Race.Polished = true
+			}
+			res.X, res.Obj = cx, cobj
+			res.NLPSolves++
+		}
+	}
 	res.Presolve = ps
 	return w.restore(res), nil
+}
+
+// canonicalFinish makes Optimal answers schedule-independent: the integer
+// variables are fixed to the incumbent's (rounded) assignment and one NLP
+// is solved over the remaining continuous variables from the deterministic
+// nil start. Racing-mode searches reach the optimal assignment through
+// whatever warm-start chain the scheduler happened to produce, so the raw
+// incumbent's continuous values carry bits of that history; after this
+// polish any two solves that agree on the integer assignment — guaranteed
+// for optima unique within the pruning gap — return bit-identical X and
+// Obj. Applied to every mode so sequential and racing answers stay
+// comparable. Best-effort: if the polish NLP stalls, the raw incumbent
+// stands.
+func canonicalFinish(w *work, opt Options, raw []float64) ([]float64, float64, bool) {
+	m := w.m
+	intVars := m.IntegerVars()
+	z := make([]float64, len(intVars))
+	for k, j := range intVars {
+		v := math.Round(raw[j])
+		if lo := m.Vars[j].Lower; v < lo {
+			v = math.Ceil(lo - 1e-9)
+		}
+		if hi := m.Vars[j].Upper; v > hi {
+			v = math.Floor(hi + 1e-9)
+		}
+		z[k] = v
+	}
+	best := solveAssignment(w, opt, intVars, z, nil)
+	if best == nil {
+		return nil, 0, false
+	}
+	// The polish must never worsen the answer: the augmented-Lagrangian
+	// solver can stall feasible but far from stationary on badly scaled
+	// fixed models, reporting "optimal" at a wildly pessimistic objective.
+	// A polished objective materially above the incumbent's is such a
+	// stall — keep the raw incumbent (schedule-independence is then
+	// best-effort, but a correct answer beats a canonical wrong one).
+	rawObj := dotObj(w.objCoef, raw)
+	if best.obj > rawObj+1e-6*(1+math.Abs(rawObj)) {
+		return nil, 0, false
+	}
+	// Tie descent: degenerate models admit several integer assignments with
+	// the same objective (a component off the critical path can hold a few
+	// spare nodes), and different search schedules legitimately land on
+	// different ones. Walk each integer variable down the contiguous
+	// interval of values whose re-solved objective still ties the reference,
+	// in variable order, so every schedule collapses to the same
+	// representative: the component-wise smallest tied assignment reachable
+	// by single steps. Candidates are screened against the constraints that
+	// involve only integer variables (selection-set pick1/link rows and the
+	// like) before paying for an NLP probe, and the probe budget is far
+	// above what the corpus needs; it only guards against pathological tie
+	// plateaus.
+	intOnly := intOnlyCons(m, intVars)
+	allCons := make([]int, len(m.Cons))
+	for i := range allCons {
+		allCons[i] = i
+	}
+	xc := append([]float64(nil), best.x...)
+	objRef := best.obj
+	tieTol := 1e-9 * (1 + math.Abs(objRef))
+	probes := 0
+	freeSteps := false // steps accepted without a backing re-solve
+	const maxTieProbes = 512
+	for k, j := range intVars {
+		lo := math.Ceil(m.Vars[j].Lower - 1e-9)
+		for z[k] > lo && probes < maxTieProbes {
+			z[k]--
+			xc[j] = z[k]
+			if !satisfiesCons(m, intOnly, xc) {
+				z[k]++
+				xc[j] = z[k]
+				break
+			}
+			// Free accept: when the candidate assignment keeps the whole
+			// current point feasible at the reference objective, the
+			// re-solved objective can only tie or improve, so the step is
+			// proven without an NLP. This is the common case on a tie
+			// plateau — a component off the critical path sheds spare
+			// capacity without moving the makespan.
+			if satisfiesCons(m, allCons, xc) && math.Abs(dotObj(w.objCoef, xc)-objRef) <= tieTol {
+				freeSteps = true
+				continue
+			}
+			probes++
+			// Warm-starting the probe from the screened point keeps it a
+			// pure function of the walk state (itself a pure function of
+			// the starting assignment), so schedule-independence survives.
+			r := solveAssignment(w, opt, intVars, z, xc)
+			if r == nil || r.obj > objRef+tieTol {
+				z[k]++
+				xc[j] = z[k]
+				break
+			}
+			best, freeSteps = r, false
+		}
+	}
+	if freeSteps {
+		// The walk ended on free-accepted steps: re-solve the final
+		// assignment so the continuous part is a function of the assignment
+		// alone, falling back to the screened point (feasible at the
+		// reference objective by construction) if the solver stalls.
+		if r := solveAssignment(w, opt, intVars, z, xc); r != nil && r.obj <= objRef+tieTol {
+			best = r
+		} else {
+			best = &fixedSolve{x: append([]float64(nil), xc...), obj: dotObj(w.objCoef, xc)}
+		}
+	}
+	return snapInts(best.x, intVars), best.obj, true
+}
+
+// intOnlyCons lists the model constraints whose bodies reference integer
+// variables exclusively, so a candidate integer assignment can be screened
+// without touching the continuous part.
+func intOnlyCons(m *model.Model, intVars []int) []int {
+	isInt := make(map[int]bool, len(intVars))
+	for _, j := range intVars {
+		isInt[j] = true
+	}
+	var out []int
+consLoop:
+	for i := range m.Cons {
+		vars := expr.Vars(m.Cons[i].Body)
+		if len(vars) == 0 {
+			continue
+		}
+		for _, v := range vars {
+			if !isInt[v] {
+				continue consLoop
+			}
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// satisfiesCons evaluates the listed constraints at x.
+func satisfiesCons(m *model.Model, cons []int, x []float64) bool {
+	const tol = 1e-6
+	for _, i := range cons {
+		c := &m.Cons[i]
+		v := c.Body.Eval(x)
+		switch c.Sense {
+		case model.LE:
+			if v > c.RHS+tol {
+				return false
+			}
+		case model.GE:
+			if v < c.RHS-tol {
+				return false
+			}
+		default:
+			if math.Abs(v-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fixedSolve is one canonicalFinish probe: the NLP over the continuous
+// variables with every integer variable fixed to the given assignment.
+type fixedSolve struct {
+	x   []float64
+	obj float64
+}
+
+func solveAssignment(w *work, opt Options, intVars []int, z []float64, start []float64) *fixedSolve {
+	fixed := w.m.Clone()
+	for k, j := range intVars {
+		fixed.FixVar(j, z[k])
+	}
+	// The augmented-Lagrangian solver can stall feasible but short of
+	// stationarity when started cold on badly scaled boxes (classify's
+	// feasible exit still reads "optimal"), which would make this probe
+	// report a wildly pessimistic objective. Restarting from the previous
+	// answer resets the multipliers and penalty with a far better starting
+	// point; the restart sequence is a pure function of the fixed model and
+	// the given start (nil = the deterministic midpoint start), so the
+	// schedule-independence canonicalFinish needs is preserved. Iterate to
+	// a fixpoint.
+	x0 := start
+	var best *fixedSolve
+	for round := 0; round < 8; round++ {
+		res, err := nlp.Solve(fixed, x0, opt.NLP)
+		if err != nil || res.Status != nlp.Optimal || res.FeasErr > opt.FeasTol {
+			return best // nil when the very first solve fails
+		}
+		obj := dotObj(w.objCoef, res.X)
+		if best != nil && obj >= best.obj-1e-10*(1+math.Abs(best.obj)) {
+			return best
+		}
+		best = &fixedSolve{x: res.X, obj: obj}
+		x0 = res.X
+	}
+	return best
 }
 
 // rescueDive manufactures a feasible incumbent after a deadline fires with

@@ -27,6 +27,7 @@ func solveOA(ctx context.Context, w *work, opt Options) (*Result, error) {
 	var cuts []lp.Constraint
 	nlpSolves, cutsAdded, nodes := 0, 0, 0
 	var lastX []float64 // most recent relaxation point, for the rescue dive
+	var lpStats lp.WarmStats
 
 	addCutsAt := func(x []float64, onlyViolated bool) int {
 		added := 0
@@ -76,7 +77,18 @@ func solveOA(ctx context.Context, w *work, opt Options) (*Result, error) {
 	incumbent := math.Inf(1)
 	var bestX []float64
 
-	solveNodeLP := func(nd *node) (*lp.Solution, error) {
+	// Each node gets one warm-start session: the first round solves cold,
+	// later rounds differ only by the cuts appended since, which the
+	// WarmSolver absorbs with a few dual simplex pivots instead of a full
+	// two-phase restart. Sessions are per-node because node bounds differ
+	// (the warm path supports appended rows, not bound changes), and the
+	// session tracks the global cut pool by high-water mark so cuts added
+	// mid-round (e.g. from a fixed-integer NLP) are picked up too.
+	type nodeLP struct {
+		ws   *lp.WarmSolver
+		seen int // cuts already appended to the session's problem
+	}
+	newNodeLP := func(nd *node) *nodeLP {
 		p := &lp.Problem{
 			NumVars: n,
 			Obj:     w.objCoef,
@@ -84,7 +96,17 @@ func solveOA(ctx context.Context, w *work, opt Options) (*Result, error) {
 			Lower:   nd.lower,
 			Upper:   nd.upper,
 		}
-		return lp.Solve(p)
+		return &nodeLP{ws: lp.NewWarmSolver(p), seen: len(cuts)}
+	}
+	solveNodeLP := func(s *nodeLP) (*lp.Solution, error) {
+		for ; s.seen < len(cuts); s.seen++ {
+			c := cuts[s.seen]
+			s.ws.AddConstraint(c.Coef, c.Sense, c.RHS)
+		}
+		before := s.ws.Stats()
+		sol, err := s.ws.Solve()
+		lpStats.Add(s.ws.Stats().Sub(before))
+		return sol, err
 	}
 
 	deadline := func() (*Result, error) {
@@ -94,7 +116,9 @@ func solveOA(ctx context.Context, w *work, opt Options) (*Result, error) {
 				bestX = snapInts(x, intVars)
 			}
 		}
-		return resultOf(bestX, incumbent, Deadline, nodes, nlpSolves, cutsAdded), nil
+		r := resultOf(bestX, incumbent, Deadline, nodes, nlpSolves, cutsAdded)
+		r.LPWarm = lpStats
+		return r, nil
 	}
 
 	for open.Len() > 0 {
@@ -102,13 +126,16 @@ func solveOA(ctx context.Context, w *work, opt Options) (*Result, error) {
 			return deadline()
 		}
 		if nodes >= opt.MaxNodes {
-			return resultOf(bestX, incumbent, NodeLimit, nodes, nlpSolves, cutsAdded), nil
+			r := resultOf(bestX, incumbent, NodeLimit, nodes, nlpSolves, cutsAdded)
+			r.LPWarm = lpStats
+			return r, nil
 		}
 		nd := heap.Pop(open).(*node)
 		if nd.bound >= incumbent-pruneGap(opt, incumbent) {
 			continue
 		}
 		nodes++
+		nlpSession := newNodeLP(nd)
 
 	nodeLoop:
 		for round := 0; round < maxCutRoundsPerNode; round++ {
@@ -117,7 +144,7 @@ func solveOA(ctx context.Context, w *work, opt Options) (*Result, error) {
 			if ctx.Err() != nil {
 				return deadline()
 			}
-			sol, err := solveNodeLP(nd)
+			sol, err := solveNodeLP(nlpSession)
 			if err != nil {
 				return nil, err
 			}
@@ -199,7 +226,9 @@ func solveOA(ctx context.Context, w *work, opt Options) (*Result, error) {
 			}
 		}
 	}
-	return resultOf(bestX, incumbent, Optimal, nodes, nlpSolves, cutsAdded), nil
+	r := resultOf(bestX, incumbent, Optimal, nodes, nlpSolves, cutsAdded)
+	r.LPWarm = lpStats
+	return r, nil
 }
 
 func dotObj(c, x []float64) float64 {

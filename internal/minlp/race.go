@@ -1,0 +1,699 @@
+package minlp
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hslb/internal/lp"
+	"hslb/internal/model"
+	"hslb/internal/nlp"
+)
+
+// RaceStats reports how a racing solve (Options.Race) was won.
+type RaceStats struct {
+	// Winner is the portfolio contender whose answer was used:
+	// "nlpbb-race", "oa" or "exhaustive".
+	Winner string `json:"winner"`
+	// Contenders lists every solver that was started.
+	Contenders []string `json:"contenders"`
+	// Steals counts chunk transfers between branch-and-bound workers.
+	Steals int64 `json:"steals"`
+	// IncumbentUpdates counts accepted improvements of the shared
+	// incumbent in the work-stealing search.
+	IncumbentUpdates int64 `json:"incumbent_updates"`
+	// Polished reports that the canonical finish replaced the winning
+	// incumbent's continuous part (see canonicalFinish).
+	Polished bool `json:"polished"`
+}
+
+// maxRaceEnumeration caps the assignment count the exhaustive contender
+// will take on. Each assignment costs one small fixed-integer NLP; past a
+// few hundred the branch-and-bound contenders win anyway.
+const maxRaceEnumeration = 256
+
+// solveRace runs the racing portfolio: the work-stealing NLP
+// branch-and-bound always, outer approximation when the caller selected it
+// (OA's cuts are only sound for the model classes callers request it for,
+// so an explicit Algorithm NLPBB keeps OA out of the race), and exhaustive
+// enumeration when the integer design space is small. The first contender
+// to return a certified status (Optimal or Infeasible) wins and the others
+// are cancelled; if everyone times out, the best incumbent among them is
+// returned. solveRace does not return until every contender goroutine has
+// exited, so no search work survives the call.
+func solveRace(ctx context.Context, w *work, opt Options) (*Result, error) {
+	if ctx.Err() != nil {
+		// Same contract as the sequential solvers: an already-expired
+		// context returns Deadline before any contender launches.
+		r := resultOf(nil, math.Inf(1), Deadline, 0, 0, 0)
+		r.Race = &RaceStats{}
+		return r, nil
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	stats := &RaceStats{}
+	type outcome struct {
+		name string
+		res  *Result
+		err  error
+	}
+	var wg sync.WaitGroup
+	results := make(chan outcome, 3)
+	start := func(name string, run func(context.Context) (*Result, error)) {
+		stats.Contenders = append(stats.Contenders, name)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := run(raceCtx)
+			results <- outcome{name: name, res: res, err: err}
+		}()
+	}
+
+	raceOA := opt.Algorithm == OuterApprox
+	bbWorkers := opt.Workers
+	if raceOA && bbWorkers > 1 {
+		bbWorkers-- // leave one scheduler slot for the OA contender
+	}
+	start("nlpbb-race", func(c context.Context) (*Result, error) {
+		return solveStealingBB(c, w, opt, bbWorkers, stats)
+	})
+	if raceOA {
+		start("oa", func(c context.Context) (*Result, error) {
+			return solveOA(c, w, opt)
+		})
+	}
+	if groups := enumerationPlan(w.m, maxRaceEnumeration); groups != nil {
+		start("exhaustive", func(c context.Context) (*Result, error) {
+			return solveEnum(c, w, opt, groups)
+		})
+	}
+
+	var winner, fallback *outcome
+	var firstErr error
+	launched := len(stats.Contenders)
+	for i := 0; i < launched && winner == nil; i++ {
+		oc := <-results
+		switch {
+		case oc.err != nil:
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+		case oc.res == nil:
+			// The contender withdrew without a claim (cancelled, or the
+			// enumeration lost its certificate to a stalled NLP).
+		case oc.res.Status == Optimal || oc.res.Status == Infeasible:
+			winner = &oc
+		case fallback == nil || betterFallback(oc.res, fallback.res):
+			fallback = &oc
+		}
+	}
+	cancel()
+	wg.Wait()
+	// Contenders that finished between the winner's arrival and the
+	// cancellation have parked their outcomes in the buffered channel;
+	// drain them so a certified late answer or a better incumbent is not
+	// thrown away when the first arrivals were only fallbacks.
+drain:
+	for {
+		select {
+		case oc := <-results:
+			switch {
+			case oc.err != nil || oc.res == nil:
+			case winner == nil && (oc.res.Status == Optimal || oc.res.Status == Infeasible):
+				winner = &oc
+			case winner == nil && (fallback == nil || betterFallback(oc.res, fallback.res)):
+				fallback = &oc
+			}
+		default:
+			break drain
+		}
+	}
+
+	var res *Result
+	switch {
+	case winner != nil:
+		stats.Winner = winner.name
+		res = winner.res
+	case fallback != nil:
+		stats.Winner = fallback.name
+		res = fallback.res
+	case firstErr != nil:
+		return nil, firstErr
+	default:
+		// Everyone withdrew claimless: only possible when ctx was done
+		// before any contender produced an incumbent.
+		res = resultOf(nil, math.Inf(1), Deadline, 0, 0, 0)
+	}
+	res.Race = stats
+	return res, nil
+}
+
+// betterFallback orders uncertified results: any incumbent beats none, and
+// between incumbents the lower (work-space minimization) objective wins.
+func betterFallback(a, b *Result) bool {
+	if (a.X != nil) != (b.X != nil) {
+		return a.X != nil
+	}
+	return a.X != nil && a.Obj < b.Obj
+}
+
+// ---- work-stealing branch-and-bound ----
+
+// bbPool is the shared state of the work-stealing search. Each worker owns
+// a LIFO deque of open nodes — popping its own tail gives depth-first
+// dives that reach integer-feasible leaves (and so incumbents) early — and
+// an idle worker steals the oldest half of the richest victim's deque in
+// one chunk, transplanting a shallow subtree rather than a leaf. All
+// deques hang off one mutex: node expansion costs an NLP solve
+// (milliseconds), so a contended microsecond lock is nowhere near the
+// critical path, and a single lock makes the empty+idle termination test
+// trivially consistent.
+type bbPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]*node
+	active  int // workers currently expanding a node
+	stopped bool
+	status  Status // terminal status, set by the first finish
+
+	// incBits is the shared incumbent objective as math.Float64bits;
+	// workers CAS improvements in and read it lock-free before and after
+	// every NLP solve. The full solution vector is published under incMu,
+	// with the objective re-checked so a stale CAS winner cannot clobber
+	// a better solution.
+	incBits atomic.Uint64
+	incMu   sync.Mutex
+	incObj  float64
+	incX    []float64
+
+	nodes     atomic.Int64
+	nlpSolves atomic.Int64
+	steals    atomic.Int64
+	incUpd    atomic.Int64
+
+	lastMu sync.Mutex
+	lastX  []float64 // most recent relaxation point, for the rescue dive
+
+	errMu sync.Mutex
+	err   error
+}
+
+// take hands worker i its next node, stealing when its own deque is empty.
+// It blocks while other workers might still produce children, and returns
+// ok=false once the pool stops — by exhaustion (every deque empty, nobody
+// expanding), cancellation, node limit, or error.
+//
+// Within its own deque a worker picks the lowest-bound node (ties to the
+// newest, keeping dives coherent), not the tail: with the incumbent seeded
+// up front, plain LIFO diving burns nodes in subtrees a best-first order
+// would never open, and on few cores every wasted node is pure wall-clock.
+// The scan is O(deque) under the pool lock, trivial next to the NLP solve
+// each node costs.
+func (p *bbPool) take(i int) (*node, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.stopped {
+			return nil, false
+		}
+		if d := p.deques[i]; len(d) > 0 {
+			best := len(d) - 1
+			for j := len(d) - 2; j >= 0; j-- {
+				if d[j].bound < d[best].bound {
+					best = j
+				}
+			}
+			nd := d[best]
+			p.deques[i] = append(d[:best], d[best+1:]...)
+			p.active++
+			return nd, true
+		}
+		victim, most := -1, 0
+		for v, d := range p.deques {
+			if len(d) > most {
+				victim, most = v, len(d)
+			}
+		}
+		if victim >= 0 {
+			d := p.deques[victim]
+			k := (len(d) + 1) / 2
+			p.deques[i] = append(p.deques[i][:0], d[:k]...)
+			p.deques[victim] = d[k:]
+			p.steals.Add(1)
+			continue
+		}
+		if p.active == 0 {
+			p.finishLocked(Optimal) // tree exhausted
+			return nil, false
+		}
+		p.cond.Wait()
+	}
+}
+
+// done returns worker i's expansion products to its deque and wakes idle
+// workers (who either steal the new work or, when this was the last active
+// expansion of an empty pool, detect termination).
+func (p *bbPool) done(i int, children []*node) {
+	p.mu.Lock()
+	if !p.stopped && len(children) > 0 {
+		p.deques[i] = append(p.deques[i], children...)
+	}
+	p.active--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *bbPool) finishLocked(st Status) {
+	if !p.stopped {
+		p.stopped = true
+		p.status = st
+	}
+	p.cond.Broadcast()
+}
+
+func (p *bbPool) stop(st Status) {
+	p.mu.Lock()
+	p.finishLocked(st)
+	p.mu.Unlock()
+}
+
+func (p *bbPool) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+	p.stop(Deadline) // status is ignored when err is set
+}
+
+func (p *bbPool) incumbent() float64 {
+	return math.Float64frombits(p.incBits.Load())
+}
+
+// offerIncumbent installs obj/x as the shared incumbent if it beats the
+// current one by more than the pruning gap — the same acceptance test the
+// sequential search applies.
+func (p *bbPool) offerIncumbent(opt Options, obj float64, x []float64) bool {
+	for {
+		old := p.incBits.Load()
+		cur := math.Float64frombits(old)
+		if obj >= cur-pruneGap(opt, cur) {
+			return false
+		}
+		if p.incBits.CompareAndSwap(old, math.Float64bits(obj)) {
+			p.incMu.Lock()
+			if obj <= p.incObj {
+				p.incObj, p.incX = obj, x
+			}
+			p.incMu.Unlock()
+			p.incUpd.Add(1)
+			return true
+		}
+	}
+}
+
+// expand processes one node: prune against the shared incumbent, solve the
+// relaxation, accept an incumbent or branch. Returned children go back to
+// the owner's deque.
+func (p *bbPool) expand(w *work, opt Options, nd *node, intVars []int) []*node {
+	inc := p.incumbent()
+	if nd.bound >= inc-pruneGap(opt, inc) {
+		return nil
+	}
+	if p.nodes.Add(1) > int64(opt.MaxNodes) {
+		p.stop(NodeLimit)
+		return nil
+	}
+	ev := evalNode(w, opt, nd)
+	if ev.err != nil {
+		p.fail(ev.err)
+		return nil
+	}
+	if ev.empty {
+		return nil
+	}
+	p.nlpSolves.Add(1)
+	res := ev.res
+	if res.Status == nlp.Infeasible {
+		return nil
+	}
+	obj := res.Obj
+	inc = p.incumbent()
+	if obj >= inc-pruneGap(opt, inc) {
+		return nil
+	}
+	clampToNode(res.X, nd)
+	p.lastMu.Lock()
+	p.lastX = res.X
+	p.lastMu.Unlock()
+
+	frac := pickFractional(res.X, intVars, opt.IntTol)
+	if frac < 0 && res.FeasErr <= opt.FeasTol {
+		p.offerIncumbent(opt, obj, snapInts(res.X, intVars))
+		return nil
+	}
+	if frac < 0 {
+		return nil // integral but not converged: unusable point
+	}
+	var left, right *node
+	if opt.BranchSOS {
+		if l, r, ok := branchSOS(w.m, nd, res.X, opt.IntTol); ok {
+			left, right = l, r
+		}
+	}
+	if left == nil {
+		left, right = branchVar(nd, frac, res.X[frac])
+	}
+	left.bound, right.bound = obj, obj
+	left.start, right.start = res.X, res.X
+	return []*node{left, right}
+}
+
+// solveStealingBB is the racing-mode NLP branch-and-bound: workers own
+// disjoint subtrees via per-worker deques with chunked stealing, prune
+// against one shared atomic incumbent, and terminate when the forest is
+// exhausted. The root relaxation is evaluated sequentially first and a
+// rescue dive from it seeds the shared incumbent, so every worker prunes
+// against a finite bound from its first node — on the wide near-tie trees
+// HSLB produces this is where most of the racing speedup comes from.
+// Unlike the deterministic prefetch mode, node visit order (and so Nodes
+// and NLPSolves) depends on scheduling; the certified objective does not.
+func solveStealingBB(ctx context.Context, w *work, opt Options, workers int, stats *RaceStats) (*Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	m := w.m
+	intVars := m.IntegerVars()
+
+	p := &bbPool{deques: make([][]*node, workers), incObj: math.Inf(1)}
+	p.cond = sync.NewCond(&p.mu)
+	p.incBits.Store(math.Float64bits(math.Inf(1)))
+
+	root := rootNode(m)
+	rev := evalNode(w, opt, root)
+	if rev.err != nil {
+		return nil, rev.err
+	}
+	p.nodes.Store(1)
+	if rev.empty {
+		return resultOf(nil, math.Inf(1), Optimal, 1, 0, 0), nil
+	}
+	p.nlpSolves.Store(1)
+	if rev.res.Status == nlp.Infeasible {
+		return resultOf(nil, math.Inf(1), Optimal, 1, 1, 0), nil
+	}
+	res := rev.res
+	obj := res.Obj
+	clampToNode(res.X, root)
+	p.lastX = res.X
+	frac := pickFractional(res.X, intVars, opt.IntTol)
+	if frac < 0 && res.FeasErr <= opt.FeasTol {
+		return resultOf(snapInts(res.X, intVars), obj, Optimal, 1, 1, 0), nil
+	}
+	if frac < 0 {
+		return resultOf(nil, math.Inf(1), Optimal, 1, 1, 0), nil
+	}
+	// Seed the shared incumbent: fix the integers from the root relaxation,
+	// solve one NLP, and polish it with the restart-to-fixpoint machinery
+	// (the augmented-Lagrangian solver stalls feasible-but-non-stationary on
+	// cold starts; restarting resets multipliers and penalty from a good
+	// point). Usually within the relative gap of the optimum on HSLB models,
+	// which lets every subtree prune from node one — this is where most of
+	// the racing speedup comes from on few cores.
+	if x, dObj, ok := rescueDive(w, opt, res.X); ok {
+		seedX, seedObj := snapInts(x, intVars), dObj
+		z := make([]float64, len(intVars))
+		for k, j := range intVars {
+			z[k] = seedX[j]
+		}
+		if fs := solveAssignment(w, opt, intVars, z, nil); fs != nil && fs.obj < seedObj {
+			seedX, seedObj = snapInts(fs.x, intVars), fs.obj
+		}
+		p.offerIncumbent(opt, seedObj, seedX)
+		p.nlpSolves.Add(1)
+	}
+	var left, right *node
+	if opt.BranchSOS {
+		if l, r, ok := branchSOS(m, root, res.X, opt.IntTol); ok {
+			left, right = l, r
+		}
+	}
+	if left == nil {
+		left, right = branchVar(root, frac, res.X[frac])
+	}
+	// The root children deliberately inherit −Inf, not the root objective: a
+	// root NLP that stalled high would otherwise meet the freshly seeded
+	// incumbent and close the whole tree on a bound that is not a bound
+	// (the sequential search has no incumbent yet at this point, so it
+	// always explores both children — mirror that). Grandchildren take
+	// their bounds from the children's own relaxations as usual.
+	left.bound, right.bound = math.Inf(-1), math.Inf(-1)
+	left.start, right.start = res.X, res.X
+	p.deques[0] = append(p.deques[0], left)
+	p.deques[workers-1] = append(p.deques[workers-1], right)
+
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.stop(Deadline)
+		case <-watchDone:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each worker carries a private NLP accelerator: the cached
+			// Gauss-Newton factorization is reused across the
+			// warm-started child NLPs of its dives, and never shared —
+			// the cache state depends on visit order.
+			wopt := opt
+			wopt.NLP.Accel = nlp.NewAccel()
+			for {
+				nd, ok := p.take(i)
+				if !ok {
+					return
+				}
+				children := p.expand(w, wopt, nd, intVars)
+				p.done(i, children)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(watchDone)
+
+	if stats != nil {
+		stats.Steals += p.steals.Load()
+		stats.IncumbentUpdates += p.incUpd.Load()
+	}
+	p.errMu.Lock()
+	err := p.err
+	p.errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	st := p.status
+	p.mu.Unlock()
+	p.incMu.Lock()
+	bestX, bestObj := p.incX, p.incObj
+	p.incMu.Unlock()
+	if bestX == nil && st == Deadline {
+		p.lastMu.Lock()
+		lx := p.lastX
+		p.lastMu.Unlock()
+		if x, dObj, ok := rescueDive(w, opt, lx); ok {
+			bestX, bestObj = snapInts(x, intVars), dObj
+		}
+	}
+	return resultOf(bestX, bestObj, st, int(p.nodes.Load()), int(p.nlpSolves.Load()), 0), nil
+}
+
+// ---- exhaustive enumeration contender ----
+
+// enumGroup is one independent integer choice: selecting option k fixes
+// vars[i] to vals[k][i]. A selection set contributes one group (its choice
+// index enumerates consistent selector/target combinations); every other
+// integer variable contributes a group over its bound range.
+type enumGroup struct {
+	vars []int
+	vals [][]float64
+}
+
+// enumerationPlan decomposes the model's integer design space into
+// independent choice groups, or returns nil when the space is larger than
+// limit, a group comes up empty (leave infeasibility proofs to the tree
+// searches), or the model has no integers worth enumerating.
+func enumerationPlan(m *model.Model, limit int) []enumGroup {
+	covered := map[int]bool{}
+	var groups []enumGroup
+	total := 1
+	for _, s := range m.SOS {
+		g := enumGroup{vars: append(append([]int(nil), s.Selectors...), s.Target)}
+		forced := -1
+		for k, sel := range s.Selectors {
+			if m.Vars[sel].Lower > 0.5 {
+				forced = k
+				break
+			}
+		}
+		tlo, thi := m.Vars[s.Target].Lower, m.Vars[s.Target].Upper
+		for k, wt := range s.Weights {
+			if forced >= 0 && k != forced {
+				continue
+			}
+			if m.Vars[s.Selectors[k]].Upper < 0.5 {
+				continue // selector pinned off by presolve or branching
+			}
+			if wt < tlo-1e-9 || wt > thi+1e-9 {
+				continue // weight outside the target's (presolved) box
+			}
+			vals := make([]float64, len(s.Selectors)+1)
+			vals[k] = 1
+			vals[len(s.Selectors)] = wt
+			g.vals = append(g.vals, vals)
+		}
+		if len(g.vals) == 0 {
+			return nil
+		}
+		total *= len(g.vals)
+		if total > limit {
+			return nil
+		}
+		for _, v := range g.vars {
+			covered[v] = true
+		}
+		groups = append(groups, g)
+	}
+	for _, j := range m.IntegerVars() {
+		if covered[j] {
+			continue
+		}
+		lo := math.Ceil(m.Vars[j].Lower - 1e-9)
+		hi := math.Floor(m.Vars[j].Upper + 1e-9)
+		if hi < lo {
+			return nil
+		}
+		span := hi - lo
+		if span > float64(limit) {
+			return nil
+		}
+		total *= int(span) + 1
+		if total > limit {
+			return nil
+		}
+		g := enumGroup{vars: []int{j}}
+		for v := lo; v <= hi+1e-9; v++ {
+			g.vals = append(g.vals, []float64{v})
+		}
+		groups = append(groups, g)
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	return groups
+}
+
+// solveEnum tries every integer assignment in the plan. An assignment is
+// discarded exactly (no NLP) when a fully-fixed linear constraint is
+// violated; otherwise its fixed-integer NLP is solved. The enumeration
+// only claims a result while it can certify one: a stalled or
+// inconclusive NLP forfeits the certificate and the contender withdraws
+// (returns nil) rather than risk declaring a wrong optimum. An exhausted
+// enumeration with no feasible assignment — every one rejected by exact
+// linear checks — is a sound infeasibility proof.
+func solveEnum(ctx context.Context, w *work, opt Options, groups []enumGroup) (*Result, error) {
+	m := w.m
+	intVars := m.IntegerVars()
+	bestObj := math.Inf(1)
+	var bestX []float64
+	nlpSolves, tried := 0, 0
+
+	assign := make([]int, len(groups))
+	for {
+		if ctx.Err() != nil {
+			return nil, nil // cancelled: no claim
+		}
+		tried++
+		fixed := m.Clone()
+		for gi, g := range groups {
+			for i, v := range g.vars {
+				fixed.FixVar(v, g.vals[assign[gi]][i])
+			}
+		}
+		if !linearInfeasibleFixed(w, fixed) {
+			res, err := nlp.Solve(fixed, nil, opt.NLP)
+			if err != nil {
+				return nil, err
+			}
+			nlpSolves++
+			if res.Status == nlp.Optimal && res.FeasErr <= opt.FeasTol {
+				if obj := dotObj(w.objCoef, res.X); obj < bestObj {
+					bestObj, bestX = obj, snapInts(res.X, intVars)
+				}
+			} else {
+				// Feasible-but-stalled and infeasible are
+				// indistinguishable here; without the certificate this
+				// contender has nothing sound to say.
+				return nil, nil
+			}
+		}
+		// Odometer increment over the groups.
+		gi := 0
+		for gi < len(groups) {
+			assign[gi]++
+			if assign[gi] < len(groups[gi].vals) {
+				break
+			}
+			assign[gi] = 0
+			gi++
+		}
+		if gi == len(groups) {
+			break
+		}
+	}
+	return resultOf(bestX, bestObj, Optimal, tried, nlpSolves, 0), nil
+}
+
+// linearInfeasibleFixed reports whether some linear constraint whose
+// support is entirely fixed variables is violated — an exact test, since
+// no free variable can repair it.
+func linearInfeasibleFixed(w *work, fixed *model.Model) bool {
+	for _, c := range w.linCons {
+		s, allFixed := 0.0, true
+		for j, v := range c.Coef {
+			if v == 0 {
+				continue
+			}
+			if fixed.Vars[j].Lower != fixed.Vars[j].Upper {
+				allFixed = false
+				break
+			}
+			s += v * fixed.Vars[j].Lower
+		}
+		if !allFixed {
+			continue
+		}
+		const tol = 1e-9
+		switch c.Sense {
+		case lp.LE:
+			if s > c.RHS+tol {
+				return true
+			}
+		case lp.GE:
+			if s < c.RHS-tol {
+				return true
+			}
+		default:
+			if math.Abs(s-c.RHS) > tol {
+				return true
+			}
+		}
+	}
+	return false
+}

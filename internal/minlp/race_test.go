@@ -1,0 +1,289 @@
+package minlp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"hslb/internal/expr"
+	"hslb/internal/model"
+)
+
+// tableIModel mirrors the paper's Table I instance shape the way
+// internal/core builds it: integer node counts per component, a continuous
+// makespan T, capacity coupling, and (optionally) selection sets
+// restricting two components to hardware-legal node counts — the presolve
+// edge case where interval screening, SOS reduction and integer rounding
+// all fire on one model.
+func tableIModel(total int, constrain bool) *model.Model {
+	m := model.New()
+	T := m.AddVar("T", model.Continuous, 0, 1e9)
+	comps := []struct {
+		a, d float64
+	}{
+		{3157.2, 12.4}, {8464.1, 4.9}, {1214.9, 41.6}, {5419.7, 8.2},
+	}
+	var caps []expr.Expr
+	for i, c := range comps {
+		n := m.AddVar(fmt.Sprintf("n%d", i), model.Integer, 1, float64(total))
+		ti := expr.Sum(expr.Div{Num: expr.C(c.a), Den: n}, expr.C(c.d))
+		m.AddConstraint(fmt.Sprintf("t%d", i), expr.Sub(ti, T), model.LE, 0)
+		caps = append(caps, n)
+		if constrain && i < 2 {
+			m.AddSelectionSet(fmt.Sprintf("set%d", i), n,
+				[]float64{2, 4, 8, 16, 24, 48, 96})
+		}
+	}
+	m.AddConstraint("cap", expr.Sum(caps...), model.LE, float64(total))
+	m.SetObjective(T, model.Minimize)
+	return m
+}
+
+// raceCorpus is the fixed-seed agreement corpus: Table I shapes, the
+// near-tie ladder, random convex min-max instances, tiny bruteforceable
+// models, and the selection-set presolve edge cases.
+func raceCorpus() []struct {
+	name string
+	m    *model.Model
+	opt  Options
+} {
+	var corpus []struct {
+		name string
+		m    *model.Model
+		opt  Options
+	}
+	add := func(name string, m *model.Model, opt Options) {
+		corpus = append(corpus, struct {
+			name string
+			m    *model.Model
+			opt  Options
+		}{name, m, opt})
+	}
+	add("tableI-free", tableIModel(128, false), Options{Algorithm: NLPBB})
+	add("tableI-sets", tableIModel(128, true), Options{Algorithm: NLPBB, BranchSOS: true})
+	add("tableI-sets-oa", tableIModel(96, true), Options{Algorithm: OuterApprox, BranchSOS: true})
+	add("hard-ties", hardHSLB(8, 200), Options{Algorithm: NLPBB})
+	add("mini", miniHSLB(1000, 10, 800, 8, 12), Options{Algorithm: NLPBB})
+	add("mini-oa", miniHSLB(900, 3, 1200, 7, 14), Options{Algorithm: OuterApprox})
+	for seed := int64(1); seed <= 4; seed++ {
+		add(fmt.Sprintf("rand-%d", seed), randMinMax(seed), Options{Algorithm: NLPBB})
+	}
+	return corpus
+}
+
+// withGOMAXPROCS runs fn with the scheduler width raised to n (race-mode
+// Workers clamps to GOMAXPROCS, and CI runners often expose one CPU).
+func withGOMAXPROCS(n int, fn func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// TestRaceAgreementCorpus is the optimum-agreement gate: across the fixed
+// corpus, race mode at Workers 1, 2 and 4 must return the very same answer
+// as the sequential solver — X and Obj bit-identical, not approximately
+// equal. Node and NLP counts are schedule-dependent in race mode and are
+// deliberately not compared.
+func TestRaceAgreementCorpus(t *testing.T) {
+	withGOMAXPROCS(4, func() {
+		for _, tc := range raceCorpus() {
+			base, err := Solve(tc.m, tc.opt)
+			if err != nil {
+				t.Fatalf("%s: sequential: %v", tc.name, err)
+			}
+			if base.Status != Optimal {
+				t.Fatalf("%s: sequential status %v, want optimal", tc.name, base.Status)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				opt := tc.opt
+				opt.Race = true
+				opt.Workers = workers
+				r, err := Solve(tc.m, opt)
+				if err != nil {
+					t.Fatalf("%s workers %d: %v", tc.name, workers, err)
+				}
+				if r.Status != Optimal {
+					t.Fatalf("%s workers %d: status %v, want optimal", tc.name, workers, r.Status)
+				}
+				if r.Obj != base.Obj {
+					t.Fatalf("%s workers %d: obj %v, want %v (bit-identical)", tc.name, workers, r.Obj, base.Obj)
+				}
+				if len(r.X) != len(base.X) {
+					t.Fatalf("%s workers %d: |X| = %d, want %d", tc.name, workers, len(r.X), len(base.X))
+				}
+				for i := range r.X {
+					if r.X[i] != base.X[i] {
+						t.Fatalf("%s workers %d: X[%d] = %v, want %v (race answers must not depend on scheduling)",
+							tc.name, workers, i, r.X[i], base.X[i])
+					}
+				}
+				if r.Race == nil || r.Race.Winner == "" || len(r.Race.Contenders) == 0 {
+					t.Fatalf("%s workers %d: race stats missing: %+v", tc.name, workers, r.Race)
+				}
+			}
+		}
+	})
+}
+
+// TestRaceExhaustiveSound: on a bruteforceable instance the exhaustive
+// contender runs and whoever wins, the answer matches brute force.
+func TestRaceExhaustiveSound(t *testing.T) {
+	a1, d1, a2, d2, total := 1000.0, 10.0, 800.0, 8.0, 12
+	m := miniHSLB(a1, d1, a2, d2, total)
+	wantObj, wantN1, wantN2 := bruteMiniHSLB(a1, d1, a2, d2, total)
+	withGOMAXPROCS(4, func() {
+		r, err := Solve(m, Options{Algorithm: NLPBB, Race: true, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != Optimal {
+			t.Fatalf("status %v", r.Status)
+		}
+		if !approxEq(r.Obj, wantObj, 1e-5) {
+			t.Fatalf("obj %v, want %v", r.Obj, wantObj)
+		}
+		if math.Round(r.X[1]) != float64(wantN1) || math.Round(r.X[2]) != float64(wantN2) {
+			t.Fatalf("allocation (%v, %v), want (%d, %d)", r.X[1], r.X[2], wantN1, wantN2)
+		}
+		found := false
+		for _, c := range r.Race.Contenders {
+			if c == "exhaustive" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("exhaustive contender did not start: %v", r.Race.Contenders)
+		}
+	})
+}
+
+// TestRaceInfeasible: race mode agrees with the sequential solver on
+// infeasibility proofs too.
+func TestRaceInfeasible(t *testing.T) {
+	m := model.New()
+	T := m.AddVar("T", model.Continuous, 0, 1e9)
+	n1 := m.AddVar("n1", model.Integer, 5, 10)
+	n2 := m.AddVar("n2", model.Integer, 5, 10)
+	m.AddConstraint("t1", expr.Sub(expr.Div{Num: expr.C(100), Den: n1}, T), model.LE, 0)
+	m.AddConstraint("cap", expr.Sum(n1, n2), model.LE, 6) // 5+5 > 6
+	m.SetObjective(T, model.Minimize)
+	withGOMAXPROCS(4, func() {
+		r, err := Solve(m, Options{Algorithm: NLPBB, Race: true, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != Infeasible {
+			t.Fatalf("status %v, want infeasible", r.Status)
+		}
+	})
+}
+
+// TestRaceDeadline: the deadline contract holds in race mode — a hard
+// instance under a 50 ms budget returns promptly with a feasible
+// incumbent, and no search goroutine survives the return.
+func TestRaceDeadline(t *testing.T) {
+	withGOMAXPROCS(4, func() {
+		m := hardHSLB(80, 1_000_000)
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		r, err := SolveContext(ctx, m, Options{Algorithm: NLPBB, Race: true, Workers: 4, MaxNodes: 1 << 30})
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed > 5*time.Second {
+			t.Fatalf("race returned only after %v against a 50ms deadline", elapsed)
+		}
+		if r.Status != Deadline {
+			t.Fatalf("status = %v, want deadline", r.Status)
+		}
+		if r.X == nil {
+			t.Fatal("deadline result carries no incumbent")
+		}
+		if !m.IsFeasible(r.X, 1e-4) {
+			t.Fatalf("deadline incumbent infeasible: %v", r.X)
+		}
+	})
+}
+
+// TestRaceCancellation: an already-cancelled context returns immediately.
+func TestRaceCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := SolveContext(ctx, hardHSLB(6, 100000), Options{Algorithm: NLPBB, Race: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Deadline {
+		t.Fatalf("status = %v, want deadline", r.Status)
+	}
+}
+
+// TestRaceNoGoroutineLeak: solveRace promises that no contender goroutine
+// outlives the call — run many races (some cancelled mid-flight) and check
+// the goroutine count returns to baseline.
+func TestRaceNoGoroutineLeak(t *testing.T) {
+	withGOMAXPROCS(4, func() {
+		baseline := runtime.NumGoroutine()
+		m := tableIModel(64, true)
+		hard := hardHSLB(40, 100000)
+		for i := 0; i < 10; i++ {
+			if _, err := Solve(m, Options{Algorithm: NLPBB, BranchSOS: true, Race: true, Workers: 4}); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+			if _, err := SolveContext(ctx, hard, Options{Algorithm: NLPBB, Race: true, Workers: 4}); err != nil {
+				cancel()
+				t.Fatal(err)
+			}
+			cancel()
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= baseline+2 {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("goroutines: %d after races, baseline %d — contenders leaked", runtime.NumGoroutine(), baseline)
+	})
+}
+
+// TestOAWorkersWarning: Workers > 1 with OuterApprox outside race mode is
+// a documented no-op, not a silent one.
+func TestOAWorkersWarning(t *testing.T) {
+	m := miniHSLB(1000, 10, 800, 8, 12)
+	r, err := Solve(m, Options{Algorithm: OuterApprox, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range r.Warnings {
+		if w == WarnOAWorkers {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warnings = %v, want WarnOAWorkers", r.Warnings)
+	}
+	// And the sibling cases stay clean.
+	if r2, _ := Solve(m, Options{Algorithm: NLPBB, Workers: 4}); len(r2.Warnings) != 0 {
+		t.Fatalf("NLPBB warnings = %v, want none", r2.Warnings)
+	}
+}
+
+// TestRaceWorkersClamp: absurd worker counts are clamped, not launched.
+func TestRaceWorkersClamp(t *testing.T) {
+	opt := Options{Race: true, Workers: 1 << 20}.withDefaults()
+	if opt.Workers > runtime.GOMAXPROCS(0) {
+		t.Fatalf("race workers = %d, want <= GOMAXPROCS (%d)", opt.Workers, runtime.GOMAXPROCS(0))
+	}
+	det := Options{Workers: 1 << 20}.withDefaults()
+	if det.Workers > 256 {
+		t.Fatalf("deterministic workers = %d, want clamped", det.Workers)
+	}
+}

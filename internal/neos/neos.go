@@ -65,6 +65,11 @@ type SolveResponse struct {
 	// the overload ladder — a best-effort rounding incumbent, not a
 	// certified optimum — and empty for full-quality answers.
 	Quality string `json:"quality,omitempty"`
+
+	// race carries the racing-mode statistics of the solve that produced
+	// this response, for the server's metrics accumulator. Not part of
+	// the wire format: the answer itself is identical in either mode.
+	race *minlp.RaceStats
 }
 
 // JobStatus is the lifecycle state of an async job.
@@ -93,7 +98,7 @@ func solve(req *SolveRequest) *SolveResponse {
 	if err != nil {
 		return &SolveResponse{Status: "error", Error: err.Error()}
 	}
-	return solveParsedContext(context.Background(), parsed, req, 0)
+	return solveParsedContext(context.Background(), parsed, req, 0, false)
 }
 
 // ExecuteRequest parses and solves one request with the same pipeline the
@@ -107,20 +112,24 @@ func ExecuteRequest(ctx context.Context, req *SolveRequest, workers int) *SolveR
 	if err != nil {
 		return &SolveResponse{Status: "error", Error: err.Error()}
 	}
-	return solveParsedContext(ctx, parsed, req, workers)
+	return solveParsedContext(ctx, parsed, req, workers, false)
 }
 
 // solveParsedContext optimizes an already-parsed request; when ctx carries a
 // deadline the solver stops there and reports status "deadline" with its
-// best incumbent. workers > 1 parallelizes the NLPBB tree search — a
-// deployment knob, not part of the request (or its cache key), because it
-// cannot change the solution, only the wall-clock.
-func solveParsedContext(ctx context.Context, parsed *ampl.Result, req *SolveRequest, workers int) *SolveResponse {
+// best incumbent. workers and race are deployment knobs, not part of the
+// request (or its cache key): workers > 1 parallelizes the NLPBB tree
+// search, race selects the racing portfolio (minlp.Options.Race), and
+// neither can change the solution — the racing mode's canonical finish
+// returns the same X and Obj as the sequential search — only the
+// wall-clock.
+func solveParsedContext(ctx context.Context, parsed *ampl.Result, req *SolveRequest, workers int, race bool) *SolveResponse {
 	opt := minlp.Options{
 		BranchSOS: req.BranchSOS,
 		MaxNodes:  req.MaxNodes,
 		RelGap:    req.RelGap,
 		Workers:   workers,
+		Race:      race,
 	}
 	switch req.Algorithm {
 	case "", "oa":
@@ -134,7 +143,7 @@ func solveParsedContext(ctx context.Context, parsed *ampl.Result, req *SolveRequ
 	if err != nil {
 		return &SolveResponse{Status: "error", Error: err.Error()}
 	}
-	out := &SolveResponse{Status: res.Status.String(), Nodes: res.Nodes}
+	out := &SolveResponse{Status: res.Status.String(), Nodes: res.Nodes, race: res.Race}
 	if res.X != nil {
 		out.Objective = res.Obj
 		out.Variables = map[string]float64{}

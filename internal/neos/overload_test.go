@@ -27,14 +27,11 @@ subject to cap: n1 + n2 <= N;
 `, 100+i)
 }
 
-// uniquePathologicalModel is pathologicalModel with a per-i coefficient:
-// still a cache miss every time, still crawling in the OA cut loop, so it
-// reliably burns its whole solve budget.
+// uniquePathologicalModel is pathologicalModel with per-i coefficients:
+// still a cache miss every time, still grinding through the near-tie
+// ladder, so it reliably burns its whole solve budget.
 func uniquePathologicalModel(i int) string {
-	return fmt.Sprintf(`var x integer >= 1 <= 50; var y integer >= 1 <= 50;
-minimize obj: %d / x + 80 / y;
-subject to c: x + y <= 60;
-`, 100+i)
+	return hardLadderModel(120, i+1)
 }
 
 // postSolve issues a raw /solve so tests can inspect status codes and

@@ -1,0 +1,74 @@
+package neos
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestSolveModeValidation: NewServerWith must reject unknown modes and
+// default the empty string to deterministic.
+func TestSolveModeValidation(t *testing.T) {
+	if _, err := NewServerWith(Config{MaxConcurrent: 1, SolveMode: "frantic"}); err == nil {
+		t.Fatal("unknown SolveMode accepted")
+	}
+	s, err := NewServerWith(Config{MaxConcurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.cfg.SolveMode; got != SolveModeDeterministic {
+		t.Fatalf("default SolveMode = %q, want %q", got, SolveModeDeterministic)
+	}
+}
+
+// TestRaceModeSameAnswerAndMetrics: a racing server returns the exact
+// answer the deterministic server does, reports its mode on /metrics, and
+// accumulates racing counters there after the first racing solve.
+func TestRaceModeSameAnswerAndMetrics(t *testing.T) {
+	ctx := context.Background()
+
+	_, _, det := newServerWith(t, Config{MaxConcurrent: 2})
+	want, err := det.Solve(ctx, &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, rc := newServerWith(t, Config{MaxConcurrent: 2, SolveMode: SolveModeRace, SolveWorkers: 2})
+	got, err := rc.Solve(ctx, &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || math.Abs(got.Objective-want.Objective) > 1e-9 {
+		t.Fatalf("race answer (%s, %v) != deterministic (%s, %v)",
+			got.Status, got.Objective, want.Status, want.Objective)
+	}
+	for name, v := range want.Variables {
+		if gv, ok := got.Variables[name]; !ok || gv != v {
+			t.Fatalf("race %s = %v, deterministic %v", name, got.Variables[name], v)
+		}
+	}
+
+	m, err := rc.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SolveMode != SolveModeRace {
+		t.Fatalf("metrics solve_mode = %q, want %q", m.SolveMode, SolveModeRace)
+	}
+	if m.Race == nil || m.Race.Solves != 1 {
+		t.Fatalf("race metrics = %+v, want one recorded solve", m.Race)
+	}
+	if len(m.Race.PortfolioWinner) == 0 {
+		t.Fatalf("race metrics carry no portfolio winner: %+v", m.Race)
+	}
+
+	// The deterministic server must not grow a race section.
+	dm, err := det.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.SolveMode != SolveModeDeterministic || dm.Race != nil {
+		t.Fatalf("deterministic metrics: mode=%q race=%+v", dm.SolveMode, dm.Race)
+	}
+}

@@ -3,6 +3,7 @@ package neos
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -388,14 +389,32 @@ func TestMetricsHistogram(t *testing.T) {
 	}
 }
 
-// pathologicalModel is a trivial-looking two-variable model on which the
-// outer-approximation cut loop crawls: each node burns hundreds of NLP
-// solves on cuts that barely separate the LP point, so an unbounded solve
-// pins a core for hours. The server's SolveTimeout must stop it.
-const pathologicalModel = `var x integer >= 1 <= 50; var y integer >= 1 <= 50;
-minimize obj: 100 / x + 80 / y;
-subject to c: x + y <= 60;
-`
+// hardLadderModel writes a k-component HSLB instance whose per-component
+// costs are near-identical (1000, 1000.001, 1000.002, ...): the makespan
+// ties force branch-and-bound to enumerate a huge frontier of equivalent
+// splits, so an unbounded solve pins a core for a very long time while the
+// rounding rescue dive still yields a feasible deadline incumbent. seed
+// shifts the coefficients so distinct seeds are distinct cache keys.
+func hardLadderModel(k, seed int) string {
+	var b strings.Builder
+	b.WriteString("var T >= 0 <= 1e12;\n")
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		names[i] = fmt.Sprintf("n%d", i)
+		fmt.Fprintf(&b, "var n%d integer >= 1 <= 1000000;\n", i)
+	}
+	b.WriteString("minimize obj: T;\n")
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "subject to t%d: %.3f / n%d + %.6f <= T;\n",
+			i, 1000.0+float64(seed)+float64(i)*0.001, i, 1e-6*float64(i))
+	}
+	fmt.Fprintf(&b, "subject to cap: %s <= 1000000;\n", strings.Join(names, " + "))
+	return b.String()
+}
+
+// pathologicalModel is a model on which the solver crawls (minutes, not
+// milliseconds). The server's SolveTimeout must stop it.
+var pathologicalModel = hardLadderModel(120, 0)
 
 func TestSolveTimeoutBoundsPathologicalModel(t *testing.T) {
 	_, _, c := newServerWith(t, Config{MaxConcurrent: 2, SolveTimeout: 300 * time.Millisecond})

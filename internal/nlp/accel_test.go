@@ -1,0 +1,143 @@
+package nlp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hslb/internal/expr"
+	"hslb/internal/model"
+)
+
+// diveModel builds the HSLB fixed-integer shape a branch-and-bound dive
+// produces: min T subject to a_i/n_i + d_i <= T with the n_i fixed — only
+// T and a couple of slack-like continuous variables remain free. Varying
+// the fixed n values step by step mimics consecutive child NLPs.
+func diveModel(n1, n2 float64) *model.Model {
+	m := model.New()
+	T := m.AddVar("T", model.Continuous, 0, 1e6)
+	u := m.AddVar("u", model.Continuous, 0, 100)
+	m.AddConstraint("t1", expr.Sub(expr.Sum(expr.C(3157.2/n1), expr.C(12.4)), T), model.LE, 0)
+	m.AddConstraint("t2", expr.Sub(expr.Sum(expr.C(8464.1/n2), expr.C(4.9), u), T), model.LE, 0)
+	m.AddConstraint("u_floor", u, model.GE, 1)
+	m.SetObjective(T, model.Minimize)
+	return m
+}
+
+// TestAccelDoesNotChangeAnswers: across a dive-like sequence of NLPs, the
+// accelerated solves must land on the same optima as plain solves, and the
+// accelerator must actually have done something (factored at least once).
+func TestAccelDoesNotChangeAnswers(t *testing.T) {
+	acc := NewAccel()
+	for i := 0; i < 8; i++ {
+		n1 := float64(40 + i)
+		n2 := float64(64 - i)
+		m := diveModel(n1, n2)
+		plain, err := Solve(m, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := Solve(diveModel(n1, n2), nil, Options{Accel: acc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Status != Optimal || fast.Status != Optimal {
+			t.Fatalf("step %d: status plain=%v fast=%v", i, plain.Status, fast.Status)
+		}
+		if !approxEq(plain.X[0], fast.X[0], 1e-4) {
+			t.Fatalf("step %d: T plain=%v fast=%v", i, plain.X[0], fast.X[0])
+		}
+	}
+	st := acc.Stats()
+	if st.Factorizations == 0 {
+		t.Fatalf("accelerator never factored: %+v", st)
+	}
+	if st.Reuses+st.RankUpdates == 0 {
+		t.Fatalf("accelerator never reused a factor across the dive: %+v", st)
+	}
+}
+
+// TestAccelGuardRejectsBadSteps: on a model whose AL surface the normal-
+// matrix approximation fits poorly, the guard may reject steps but the
+// answer must stay correct. (The line-search guard is the only thing
+// standing between a stale patched factor and a wrong iterate.)
+func TestAccelGuardKeepsCorrectness(t *testing.T) {
+	acc := NewAccel()
+	for trial := 0; trial < 5; trial++ {
+		m := model.New()
+		x := m.AddVar("x", model.Continuous, -10, 10)
+		y := m.AddVar("y", model.Continuous, -10, 10)
+		// min (x-3)² + 10(y+2)², nonlinear inequality x² + y² >= tether.
+		m.SetObjective(expr.Sum(
+			expr.Pow{Base: expr.Sub(x, expr.C(3)), Exponent: expr.C(2)},
+			expr.Scale(10, expr.Pow{Base: expr.Sum(y, expr.C(2)), Exponent: expr.C(2)}),
+		), model.Minimize)
+		m.AddConstraint("ball", expr.Sum(
+			expr.Pow{Base: x, Exponent: expr.C(2)},
+			expr.Pow{Base: y, Exponent: expr.C(2)},
+		), model.LE, 25+float64(trial))
+		plain, err := Solve(m, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := Solve(m, nil, Options{Accel: acc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Status != fast.Status {
+			t.Fatalf("trial %d: status plain=%v fast=%v", trial, plain.Status, fast.Status)
+		}
+		if plain.Status == Optimal {
+			fp := m.Objective.Eval(plain.X)
+			ff := m.Objective.Eval(fast.X)
+			if !approxEq(fp, ff, 1e-3) {
+				t.Fatalf("trial %d: obj plain=%v fast=%v", trial, fp, ff)
+			}
+		}
+	}
+}
+
+// TestAccelLargeModelsBypassed: past accelMaxDim the accelerator must stand
+// aside entirely (dense n×n factors would cost more than they save).
+func TestAccelLargeModelsBypassed(t *testing.T) {
+	acc := NewAccel()
+	m := model.New()
+	var terms []expr.Expr
+	for i := 0; i < accelMaxDim+1; i++ {
+		x := m.AddVar(fmt.Sprintf("x%d", i), model.Continuous, 0, 10)
+		terms = append(terms, expr.Pow{Base: expr.Sub(x, expr.C(1)), Exponent: expr.C(2)})
+	}
+	m.SetObjective(expr.Sum(terms...), model.Minimize)
+	r, err := Solve(m, nil, Options{Accel: acc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal {
+		t.Fatalf("status %v", r.Status)
+	}
+	st := acc.Stats()
+	if st.Factorizations != 0 || st.Steps != 0 {
+		t.Fatalf("accelerator engaged past the size cutoff: %+v", st)
+	}
+}
+
+// TestDiffSets covers the active-set delta helper's corners.
+func TestDiffSets(t *testing.T) {
+	cases := []struct {
+		old, new, wantAdd, wantRem []int
+	}{
+		{nil, nil, nil, nil},
+		{nil, []int{1, 2}, []int{1, 2}, nil},
+		{[]int{1, 2}, nil, nil, []int{1, 2}},
+		{[]int{1, 3, 5}, []int{1, 4, 5}, []int{4}, []int{3}},
+		{[]int{2}, []int{2}, nil, nil},
+	}
+	for i, c := range cases {
+		add, rem := diffSets(c.old, c.new)
+		if fmt.Sprint(add) != fmt.Sprint(c.wantAdd) || fmt.Sprint(rem) != fmt.Sprint(c.wantRem) {
+			t.Fatalf("case %d: got add=%v rem=%v, want add=%v rem=%v", i, add, rem, c.wantAdd, c.wantRem)
+		}
+	}
+}
+
+var _ = math.Abs // keep math import if tolerance helpers change
