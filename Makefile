@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet fmt race chaos bench bench-gate load fsck fleet
+.PHONY: verify build test vet fmt race chaos bench bench-gate load fsck fleet load-fleet
 
-verify: build vet fmt test race load fsck fleet bench-gate
+verify: build vet fmt test race load fsck fleet load-fleet bench-gate
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,17 @@ fsck:
 # the cache). Runs in ~10s.
 fleet:
 	$(GO) run ./cmd/hslbfleet -jobs 12 -workers 3
+
+# Sharded-fleet acceptance: real hslbserver shards behind a real hslbrouter
+# process. Measures goodput scaling 1 -> 4 shards through the router (the
+# >= 3x gate applies only on hosts with >= 4 CPUs; smaller hosts skip it
+# with the reason logged and recorded in the report), proves a cache-peering
+# warm end to end (a shard answers a model it never solved with zero solver
+# invocations), and SIGKILLs a shard with requests provably in flight to
+# check every request still gets exactly one terminal outcome. Writes
+# BENCH_fleet.json. Runs in ~20s.
+load-fleet:
+	$(GO) run ./cmd/hslbloadfleet -phase 2s -clients 8 -o BENCH_fleet.json
 
 # Overload acceptance: a closed-loop generator measures peak goodput at
 # solver capacity, then storms the protected server at 4x capacity with

@@ -1,0 +1,651 @@
+// Command hslbloadfleet is the acceptance gate for the sharded solve
+// fleet: real hslbserver shard processes behind a real hslbrouter process.
+// It measures three things end to end:
+//
+//   - Scaling: closed-loop goodput through the router over 1 shard versus
+//     4 shards. On hosts with >= 4 CPUs the run fails unless 4 shards
+//     deliver at least -min-speedup (default 3x) the single-shard goodput;
+//     on smaller hosts the gate is skipped with the reason logged and
+//     recorded in the report (the measurement still runs).
+//   - Cache peering: shard A solves and persists a model; shard B — a ring
+//     sibling that has never seen it — must answer the same model through
+//     the router with ZERO local solver invocations, warmed from A's
+//     persisted result.
+//   - Failover: a closed loop runs through the router over 2 shards while
+//     one shard is SIGKILLed with requests provably in flight. Every
+//     request must reach exactly one terminal outcome (a response; no
+//     transport errors, no hangs) and successes must continue after the
+//     kill.
+//
+// The process exits non-zero on any violated gate and writes a JSON report
+// (default BENCH_fleet.json), making it usable as a CI gate
+// (`make load-fleet`).
+//
+// Usage:
+//
+//	hslbloadfleet -phase 2s -clients 8 -o BENCH_fleet.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hslb/internal/neos"
+	"hslb/internal/router"
+)
+
+func main() {
+	var (
+		phase      = flag.Duration("phase", 2*time.Second, "duration of each goodput measurement phase")
+		clients    = flag.Int("clients", 8, "closed-loop clients per phase")
+		minSpeedup = flag.Float64("min-speedup", 3.0, "fail unless 4-shard goodput >= this multiple of 1-shard goodput (gated only on >= 4 CPU hosts)")
+		timeout    = flag.Duration("timeout", 300*time.Second, "overall scenario budget")
+		out        = flag.String("o", "BENCH_fleet.json", "report path")
+		keepLogs   = flag.Bool("logs", false, "pass shard/router output through")
+	)
+	flag.Parse()
+
+	if err := run(*phase, *clients, *minSpeedup, *timeout, *out, *keepLogs); err != nil {
+		log.Fatalf("load-fleet scenario FAILED: %v", err)
+	}
+	fmt.Println("load-fleet scenario PASSED")
+}
+
+// report is the JSON document written to -o.
+type report struct {
+	NumCPU     int     `json:"num_cpu"`
+	GoVersion  string  `json:"go_version"`
+	PhaseNs    int64   `json:"phase_ns"`
+	Clients    int     `json:"clients"`
+	MinSpeedup float64 `json:"min_speedup"`
+
+	Scaling struct {
+		OneShardGoodput  float64 `json:"one_shard_goodput_per_s"`
+		FourShardGoodput float64 `json:"four_shard_goodput_per_s"`
+		Speedup          float64 `json:"speedup"`
+		Gate             string  `json:"gate"`
+	} `json:"scaling"`
+
+	PeerWarm struct {
+		Hits              uint64 `json:"hits"`
+		SolverInvocations uint64 `json:"solver_invocations"`
+		Gate              string `json:"gate"`
+	} `json:"peer_warm"`
+
+	Failover struct {
+		Requests        uint64 `json:"requests"`
+		OK              uint64 `json:"ok"`
+		Shed            uint64 `json:"shed"`
+		Errors          uint64 `json:"errors"`
+		OKAfterKill     uint64 `json:"ok_after_kill"`
+		RouterFailovers uint64 `json:"router_failovers"`
+		Gate            string `json:"gate"`
+	} `json:"failover"`
+}
+
+// fleet is the running harness state: built binaries plus every child
+// process started, so one deferred sweep reaps them all.
+type fleet struct {
+	ctx       context.Context
+	serverBin string
+	routerBin string
+	keepLogs  bool
+
+	mu   sync.Mutex
+	kids []*exec.Cmd
+}
+
+func run(phase time.Duration, clients int, minSpeedup float64, timeout time.Duration, out string, keepLogs bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	bin, err := os.MkdirTemp("", "hslbloadfleet-bin-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(bin)
+	f := &fleet{
+		ctx:       ctx,
+		serverBin: filepath.Join(bin, "hslbserver"),
+		routerBin: filepath.Join(bin, "hslbrouter"),
+		keepLogs:  keepLogs,
+	}
+	for target, pkg := range map[string]string{f.serverBin: "./cmd/hslbserver", f.routerBin: "./cmd/hslbrouter"} {
+		build := exec.CommandContext(ctx, "go", "build", "-o", target, pkg)
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", pkg, err)
+		}
+	}
+	defer f.reapAll()
+
+	rep := &report{
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		PhaseNs:    int64(phase),
+		Clients:    clients,
+		MinSpeedup: minSpeedup,
+	}
+
+	var failed []string
+	if err := f.scalingPhase(rep, phase, clients, minSpeedup); err != nil {
+		failed = append(failed, err.Error())
+	}
+	if err := f.peerWarmPhase(rep); err != nil {
+		failed = append(failed, err.Error())
+	}
+	if err := f.failoverPhase(rep, phase, clients); err != nil {
+		failed = append(failed, err.Error())
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	if len(failed) > 0 {
+		return fmt.Errorf("%s", strings.Join(failed, "; "))
+	}
+	return nil
+}
+
+// scalingPhase measures closed-loop goodput through the router at 1 and 4
+// shards and applies the near-linear-scaling gate on capable hosts.
+func (f *fleet) scalingPhase(rep *report, phase time.Duration, clients int, minSpeedup float64) error {
+	measure := func(shards int) (float64, error) {
+		var urls []string
+		var cmds []*exec.Cmd
+		for i := 0; i < shards; i++ {
+			url, cmd, err := f.startShard("-concurrency", "2")
+			if err != nil {
+				return 0, err
+			}
+			urls = append(urls, url)
+			cmds = append(cmds, cmd)
+		}
+		front, frontCmd, err := f.startRouter(urls)
+		if err != nil {
+			return 0, err
+		}
+		res := f.closedLoop(front, phase, clients, nil)
+		reap(frontCmd, syscall.SIGTERM)
+		for _, c := range cmds {
+			reap(c, syscall.SIGTERM)
+		}
+		if res.errors > 0 {
+			return 0, fmt.Errorf("scaling phase (%d shards): %d transport errors", shards, res.errors)
+		}
+		return res.goodput(), nil
+	}
+
+	g1, err := measure(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scaling: 1 shard: %.1f full-quality answers/s\n", g1)
+	g4, err := measure(4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scaling: 4 shards: %.1f full-quality answers/s\n", g4)
+
+	rep.Scaling.OneShardGoodput = g1
+	rep.Scaling.FourShardGoodput = g4
+	if g1 > 0 {
+		rep.Scaling.Speedup = g4 / g1
+	}
+	if runtime.NumCPU() < 4 {
+		reason := fmt.Sprintf("skipped: host has %d CPU(s), shards cannot scale below 4", runtime.NumCPU())
+		rep.Scaling.Gate = reason
+		fmt.Println("scaling gate " + reason)
+		return nil
+	}
+	if g1 <= 0 {
+		rep.Scaling.Gate = "fail: single-shard phase produced no full-quality answers"
+		return fmt.Errorf("scaling: no single-shard goodput to calibrate against")
+	}
+	if rep.Scaling.Speedup < minSpeedup {
+		rep.Scaling.Gate = "fail"
+		return fmt.Errorf("scaling: 4 shards deliver %.2fx the 1-shard goodput, need >= %.1fx",
+			rep.Scaling.Speedup, minSpeedup)
+	}
+	rep.Scaling.Gate = "pass"
+	fmt.Printf("scaling gate pass: %.2fx >= %.1fx\n", rep.Scaling.Speedup, minSpeedup)
+	return nil
+}
+
+// peerWarmPhase proves a shard can answer a model it never solved: shard A
+// solves and persists it, then sibling shard B serves it through the
+// router with zero local solver invocations.
+func (f *fleet) peerWarmPhase(rep *report) error {
+	model := fleetModel(424242)
+
+	dirA, err := os.MkdirTemp("", "hslbloadfleet-a-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dirA)
+	urlA, cmdA, err := f.startShard("-store-dir", dirA, "-cache-persist")
+	if err != nil {
+		return err
+	}
+	defer reap(cmdA, syscall.SIGTERM)
+	clientA := neos.NewClient(urlA)
+	first, err := clientA.Solve(f.ctx, &neos.SolveRequest{Model: model})
+	if err != nil {
+		return fmt.Errorf("peer-warm: solve on shard A: %w", err)
+	}
+	if first.Status != "optimal" {
+		return fmt.Errorf("peer-warm: shard A status %q", first.Status)
+	}
+
+	dirB, err := os.MkdirTemp("", "hslbloadfleet-b-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dirB)
+	urlB, cmdB, err := f.startShard("-store-dir", dirB, "-cache-persist", "-peers", urlA)
+	if err != nil {
+		return err
+	}
+	defer reap(cmdB, syscall.SIGTERM)
+	front, frontCmd, err := f.startRouter([]string{urlB})
+	if err != nil {
+		return err
+	}
+	defer reap(frontCmd, syscall.SIGTERM)
+
+	frontClient := neos.NewClient(front)
+	second, err := frontClient.Solve(f.ctx, &neos.SolveRequest{Model: model})
+	if err != nil {
+		return fmt.Errorf("peer-warm: solve through router: %w", err)
+	}
+	if second.Status != "optimal" || second.Objective != first.Objective {
+		return fmt.Errorf("peer-warm: answer %+v through router, want %+v", second, first)
+	}
+	m, err := neos.NewClient(urlB).Metrics(f.ctx)
+	if err != nil {
+		return err
+	}
+	rep.PeerWarm.SolverInvocations = m.Solves.Count
+	if m.Peer != nil {
+		rep.PeerWarm.Hits = m.Peer.Hits
+	}
+	if m.Solves.Count != 0 {
+		rep.PeerWarm.Gate = "fail"
+		return fmt.Errorf("peer-warm: shard B invoked its solver %d times; the answer should have come from shard A's store", m.Solves.Count)
+	}
+	if rep.PeerWarm.Hits == 0 {
+		rep.PeerWarm.Gate = "fail"
+		return fmt.Errorf("peer-warm: no peer hit recorded on shard B")
+	}
+	rep.PeerWarm.Gate = "pass"
+	fmt.Printf("peer-warm gate pass: %d peer hit(s), 0 solver invocations on the sibling\n", rep.PeerWarm.Hits)
+	return nil
+}
+
+// failoverPhase SIGKILLs one of two shards with requests provably in
+// flight and checks that every request still reaches exactly one terminal
+// outcome, with successes continuing after the kill.
+func (f *fleet) failoverPhase(rep *report, phase time.Duration, clients int) error {
+	type shard struct {
+		url string
+		cmd *exec.Cmd
+	}
+	var shards []shard
+	var urls []string
+	for i := 0; i < 2; i++ {
+		url, cmd, err := f.startShard("-concurrency", "2")
+		if err != nil {
+			return err
+		}
+		shards = append(shards, shard{url, cmd})
+		urls = append(urls, url)
+		defer reap(cmd, syscall.SIGTERM)
+	}
+	front, frontCmd, err := f.startRouter(urls)
+	if err != nil {
+		return err
+	}
+	defer reap(frontCmd, syscall.SIGTERM)
+
+	// The kill goroutine waits until the router reports in-flight requests
+	// on some shard, then SIGKILLs that shard's process — so the kill
+	// provably lands mid-request, not between requests. killedCh closes at
+	// the kill; victimURL records which shard died.
+	var victimURL atomic.Value
+	killedCh := make(chan struct{})
+	go func() {
+		deadline := time.Now().Add(phase)
+		for time.Now().Before(deadline) {
+			m, err := routerMetrics(front)
+			if err == nil {
+				for _, s := range m.Shards {
+					if s.Inflight > 0 {
+						for _, sh := range shards {
+							if sh.url == s.URL {
+								_ = sh.cmd.Process.Kill()
+								_ = sh.cmd.Wait()
+								victimURL.Store(s.URL)
+								close(killedCh)
+								return
+							}
+						}
+					}
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var okAfterKill atomic.Uint64
+	res := f.closedLoop(front, 2*phase, clients, func(outcome string) {
+		select {
+		case <-killedCh:
+		default:
+			return
+		}
+		if outcome == "full" {
+			okAfterKill.Add(1)
+		}
+	})
+	victim, _ := victimURL.Load().(string)
+	if victim == "" {
+		return fmt.Errorf("failover: no kill window — router never reported an in-flight request")
+	}
+	fmt.Printf("failover: SIGKILLed shard %s mid-request\n", victim)
+
+	m, err := routerMetrics(front)
+	if err != nil {
+		return err
+	}
+	rep.Failover.Requests = res.full + res.partial + res.shed + res.errors
+	rep.Failover.OK = res.full
+	rep.Failover.Shed = res.shed
+	rep.Failover.Errors = res.errors
+	rep.Failover.OKAfterKill = okAfterKill.Load()
+	rep.Failover.RouterFailovers = m.Failovers
+
+	// Every request one terminal outcome: nothing may surface as a client
+	// transport error — the router absorbs the dead shard and either
+	// relays a live shard's answer or sheds with its own 503.
+	if res.errors > 0 {
+		rep.Failover.Gate = "fail"
+		return fmt.Errorf("failover: %d request(s) ended in a transport error instead of a terminal response", res.errors)
+	}
+	if okAfterKill.Load() == 0 {
+		rep.Failover.Gate = "fail"
+		return fmt.Errorf("failover: no successful answers after the kill; the surviving shard never took over")
+	}
+	rep.Failover.Gate = "pass"
+	fmt.Printf("failover gate pass: %d requests, 0 errors, %d ok after the kill, %d router failover(s)\n",
+		rep.Failover.Requests, rep.Failover.OKAfterKill, m.Failovers)
+	return nil
+}
+
+// loopResult aggregates one closed-loop phase. partial counts answered
+// requests below full quality (deadline or brownout-degraded): terminal
+// outcomes, but not goodput and not errors.
+type loopResult struct {
+	full    uint64
+	partial uint64
+	shed    uint64
+	errors  uint64
+	elapsed time.Duration
+}
+
+func (r *loopResult) goodput() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.full) / r.elapsed.Seconds()
+}
+
+// phaseSeq hands each closed-loop phase a disjoint model-id block.
+var phaseSeq atomic.Uint64
+
+// closedLoop drives `clients` workers against front's /solve for dur, one
+// unique model per request. onOutcome, when non-nil, observes every
+// classified outcome (used by the failover phase).
+func (f *fleet) closedLoop(front string, dur time.Duration, clients int, onOutcome func(string)) loopResult {
+	var res loopResult
+	var mu sync.Mutex
+	var ids atomic.Uint64
+	// Distinct digests across phases: each closed loop gets its own block
+	// of a billion ids.
+	ids.Store(phaseSeq.Add(1) * 1_000_000_000)
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				outcome, retry := doSolve(client, front, fleetModel(ids.Add(1)))
+				mu.Lock()
+				switch outcome {
+				case "full":
+					res.full++
+				case "partial":
+					res.partial++
+				case "shed":
+					res.shed++
+				default:
+					res.errors++
+				}
+				mu.Unlock()
+				if onOutcome != nil {
+					onOutcome(outcome)
+				}
+				if outcome == "shed" && retry > 0 {
+					if retry > 500*time.Millisecond {
+						retry = 500 * time.Millisecond
+					}
+					time.Sleep(retry)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+// doSolve issues one /solve and classifies it: "full" (200, full-quality),
+// "shed" (429/503, with the server's backoff hint), "error" otherwise.
+func doSolve(client *http.Client, front, model string) (outcome string, retry time.Duration) {
+	body, _ := json.Marshal(map[string]string{"model": model})
+	resp, err := client.Post(front+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "error", 0
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "error", 0
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out neos.SolveResponse
+		if json.Unmarshal(payload, &out) != nil {
+			return "error", 0
+		}
+		if out.Status == "optimal" && out.Quality == "" {
+			return "full", 0
+		}
+		return "partial", 0
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		var shed struct {
+			RetryAfterMS int64 `json:"retry_after_ms"`
+		}
+		_ = json.Unmarshal(payload, &shed)
+		return "shed", time.Duration(shed.RetryAfterMS) * time.Millisecond
+	default:
+		return "error", 0
+	}
+}
+
+// fleetModel emits a unique near-tie load-balancing model (6 components)
+// taking the branch-and-bound a few milliseconds — big enough that shard
+// CPU is the bottleneck, small enough that phases finish in seconds.
+func fleetModel(id uint64) string {
+	const k, n = 6, 800
+	var b strings.Builder
+	fmt.Fprintf(&b, "var T >= 0 <= 100000;\n")
+	for j := 1; j <= k; j++ {
+		fmt.Fprintf(&b, "var n%d integer >= 1 <= %d;\n", j, n)
+	}
+	b.WriteString("minimize total: T;\n")
+	for j := 1; j <= k; j++ {
+		fmt.Fprintf(&b, "subject to t%d: %0.6f / n%d + %0.6f <= T;\n",
+			j, float64(n)*1.375+float64(j)*0.001+float64(id)*0.0001, j, float64(j)*1e-6)
+	}
+	b.WriteString("subject to cap: ")
+	for j := 1; j <= k; j++ {
+		if j > 1 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "n%d", j)
+	}
+	fmt.Fprintf(&b, " <= %d;\n", n)
+	return b.String()
+}
+
+// startShard launches one hslbserver with extra args, waiting for /ready.
+func (f *fleet) startShard(extra ...string) (string, *exec.Cmd, error) {
+	addr, err := freeAddr()
+	if err != nil {
+		return "", nil, err
+	}
+	args := append([]string{"-addr", addr, "-solve-timeout", "10s"}, extra...)
+	cmd := exec.Command(f.serverBin, args...)
+	if f.keepLogs {
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, fmt.Errorf("start shard: %w", err)
+	}
+	f.track(cmd)
+	url := "http://" + addr
+	if err := f.waitReady(url); err != nil {
+		return "", nil, fmt.Errorf("shard %s: %w", url, err)
+	}
+	return url, cmd, nil
+}
+
+// startRouter launches hslbrouter over the shard URLs, waiting for /ready.
+func (f *fleet) startRouter(shards []string) (string, *exec.Cmd, error) {
+	addr, err := freeAddr()
+	if err != nil {
+		return "", nil, err
+	}
+	cmd := exec.Command(f.routerBin,
+		"-addr", addr,
+		"-shards", strings.Join(shards, ","),
+		"-health-interval", "50ms",
+	)
+	if f.keepLogs {
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, fmt.Errorf("start router: %w", err)
+	}
+	f.track(cmd)
+	url := "http://" + addr
+	if err := f.waitReady(url); err != nil {
+		return "", nil, fmt.Errorf("router %s: %w", url, err)
+	}
+	return url, cmd, nil
+}
+
+func (f *fleet) waitReady(url string) error {
+	for {
+		resp, err := http.Get(url + "/ready")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-f.ctx.Done():
+			return fmt.Errorf("never became ready")
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+func routerMetrics(front string) (*router.Metrics, error) {
+	resp, err := http.Get(front + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m router.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (f *fleet) track(cmd *exec.Cmd) {
+	f.mu.Lock()
+	f.kids = append(f.kids, cmd)
+	f.mu.Unlock()
+}
+
+func (f *fleet) reapAll() {
+	f.mu.Lock()
+	kids := append([]*exec.Cmd(nil), f.kids...)
+	f.mu.Unlock()
+	for _, c := range kids {
+		reap(c, syscall.SIGTERM)
+	}
+}
+
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+	return l.Addr().String(), nil
+}
+
+// reap terminates a child gracefully, escalating to SIGKILL after 10s.
+func reap(cmd *exec.Cmd, sig syscall.Signal) {
+	if cmd.Process == nil || cmd.ProcessState != nil {
+		return
+	}
+	_ = cmd.Process.Signal(sig)
+	done := make(chan struct{})
+	go func() { _, _ = cmd.Process.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		<-done
+	}
+}

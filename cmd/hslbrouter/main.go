@@ -1,0 +1,93 @@
+// Command hslbrouter runs the solve-fleet front tier: it consistent-hashes
+// each request's canonical model digest onto a ring of hslbserver shards,
+// so identical models always reach the shard that has them cached, spills
+// hot digests by bounded-load placement, health-checks shards via /ready,
+// and fails over in deterministic rendezvous order when a shard dies.
+// Shard responses — including 429/503 Retry-After hints — relay verbatim.
+//
+// Usage:
+//
+//	hslbrouter -addr :8070 -shards http://shard0:8080,http://shard1:8080
+//
+//	curl -s -X POST localhost:8070/solve -d '{"model":"var x >= 0 <= 9; maximize o: x;"}'
+//	curl -s localhost:8070/metrics
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes and
+// in-flight proxied requests drain (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hslb/internal/router"
+)
+
+func main() {
+	addr := flag.String("addr", ":8070", "listen address")
+	shards := flag.String("shards", "", "comma-separated hslbserver base URLs forming the ring (required)")
+	loadFactor := flag.Float64("load-factor", router.DefaultLoadFactor, "bounded-load headroom c > 1: a shard above c × its fair share of in-flight requests is demoted to last resort")
+	healthInterval := flag.Duration("health-interval", 250*time.Millisecond, "/ready probe cadence")
+	healthTimeout := flag.Duration("health-timeout", time.Second, "per-probe timeout")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	verbose := flag.Bool("v", false, "log health transitions and failovers")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("hslbrouter: -shards is required (comma-separated base URLs)")
+	}
+
+	cfg := router.Config{
+		Shards:         urls,
+		LoadFactor:     *loadFactor,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("hslbrouter listening on %s, routing %d shard(s)\n", *addr, len(urls))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining for up to %v", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		rt.Close()
+		log.Println("shutdown complete")
+	}
+}

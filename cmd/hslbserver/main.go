@@ -37,6 +37,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,7 +70,16 @@ func main() {
 	storeDir := flag.String("store-dir", "", "directory of the content-addressed result store (empty = disabled)")
 	cachePersist := flag.Bool("cache-persist", false, "persist solve-cache fills to -store-dir and warm the cache from it at startup")
 	storeHistory := flag.Int("store-history", 0, "commits of history retained per store key by GC (0 = unbounded)")
+	peers := flag.String("peers", "", "comma-separated ring-sibling base URLs (own URL excluded) consulted for persisted results on solve-cache misses")
+	peerBudget := flag.Duration("peer-budget", 150*time.Millisecond, "total budget for one solve's peer consult across all -peers")
 	flag.Parse()
+
+	var peerURLs []string
+	for _, u := range strings.Split(*peers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			peerURLs = append(peerURLs, u)
+		}
+	}
 
 	srv, err := neos.NewServerWith(neos.Config{
 		MaxConcurrent:    *concurrency,
@@ -88,6 +98,8 @@ func main() {
 		StoreDir:         *storeDir,
 		CachePersist:     *cachePersist,
 		StoreKeepHistory: *storeHistory,
+		Peers:            peerURLs,
+		PeerBudget:       *peerBudget,
 		Overload: neos.OverloadConfig{
 			Enabled:          *overloadOn,
 			MaxQueue:         *maxQueue,

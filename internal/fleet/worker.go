@@ -134,6 +134,10 @@ func (w *Worker) Run(ctx context.Context) error {
 			backoff = minDur(backoff*2, w.cfg.MaxBackoff)
 			continue
 		}
+		// Any successful RPC proves the server healthy again, so the
+		// error-path backoff restarts from base — an idle (204) response
+		// after a 429 must not leave the next error inflated forever.
+		backoff = w.cfg.BaseBackoff
 		if grant == nil {
 			// No work; the hint covers backoffs and upcoming lease expiries.
 			if !sleepCtx(ctx, minDur(wait, w.cfg.MaxBackoff)) {
@@ -141,7 +145,6 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
-		backoff = w.cfg.BaseBackoff
 		w.execute(ctx, grant)
 	}
 }

@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"context"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -177,6 +179,85 @@ func TestWorkerDrainFinishesWithinGrace(t *testing.T) {
 	jr := waitTerminal(t, c, id, 10*time.Second)
 	if jr.Status != neos.JobDone || jr.Result == nil || jr.Result.Objective != 4 {
 		t.Fatalf("job = %+v, want done with the drained worker's result", jr)
+	}
+}
+
+// TestWorkerBackoffResetsAfterIdleLease is the regression test for the
+// inflated-backoff bug: a 429 raised the error backoff, and a successful
+// but idle (204) lease response never reset it — only a grant did — so one
+// shed response permanently inflated the error-path delay of an otherwise
+// healthy idle worker. The scripted sequence is 429(hint) → 204 idle →
+// 429(no hint): after the idle response the next error must back off from
+// BaseBackoff again, not from the inflated delay.
+func TestWorkerBackoffResetsAfterIdleLease(t *testing.T) {
+	const (
+		base = 20 * time.Millisecond
+		hint = 300 * time.Millisecond
+	)
+	var mu sync.Mutex
+	var calls []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/work/lease" {
+			http.NotFound(w, r)
+			return
+		}
+		mu.Lock()
+		calls = append(calls, time.Now())
+		n := len(calls)
+		mu.Unlock()
+		switch n {
+		case 1:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error":"overloaded","retry_after_ms":%d}`, hint.Milliseconds())
+		case 3:
+			w.WriteHeader(http.StatusTooManyRequests)
+		default: // healthy but idle
+			w.Header().Set("X-Wait-Ms", "1")
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := New(neos.NewClient(srv.URL), Config{ID: "idle-node", BaseBackoff: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = w.Run(ctx) }()
+
+	// Wait for the request after the second 429, then stop the loop.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(calls)
+		mu.Unlock()
+		if n >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker made only %d lease calls", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	// The first 429's hint floors the first sleep (healthy-shed behavior,
+	// unchanged): call 2 arrives no earlier than the hint.
+	if gap := calls[1].Sub(calls[0]); gap < hint {
+		t.Fatalf("hinted 429 backoff too short: %v < %v", gap, hint)
+	}
+	// The idle 204 between the two 429s must reset the backoff: the sleep
+	// after the second (hintless) 429 starts over from BaseBackoff instead
+	// of continuing from the inflated ~2×hint delay.
+	if gap := calls[3].Sub(calls[2]); gap >= hint {
+		t.Fatalf("backoff not reset by idle lease response: slept %v after a hintless 429 (base %v)", gap, base)
 	}
 }
 

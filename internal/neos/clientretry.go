@@ -3,6 +3,7 @@ package neos
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -121,7 +122,10 @@ func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error
 	var lastErr error
 	for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			if err := backoffSleep(ctx, rp, attempt-1); err != nil {
+			// A shedding server's Retry-After hint floors the delay: the
+			// server knows its queue better than our exponential schedule,
+			// and retrying earlier than asked just feeds the overload.
+			if err := backoffSleep(ctx, rp, attempt-1, retryAfterHint(lastErr)); err != nil {
 				return nil, err
 			}
 		}
@@ -150,12 +154,17 @@ func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error
 	return nil, fmt.Errorf("neos: giving up after %d attempts: %w", rp.MaxAttempts, lastErr)
 }
 
-// backoffSleep waits the capped exponential delay for retry #attempt,
-// honoring context cancellation.
-func backoffSleep(ctx context.Context, rp RetryPolicy, attempt int) error {
+// backoffSleep waits the capped exponential delay for retry #attempt —
+// floored at the server's Retry-After hint when one was given — honoring
+// context cancellation. The hint deliberately overrides MaxBackoff: a
+// server asking for 10s means 10s, however aggressive the local policy.
+func backoffSleep(ctx context.Context, rp RetryPolicy, attempt int, floor time.Duration) error {
 	d := rp.BaseBackoff << uint(attempt)
 	if d > rp.MaxBackoff || d <= 0 {
 		d = rp.MaxBackoff
+	}
+	if floor > d {
+		d = floor
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -167,21 +176,42 @@ func backoffSleep(ctx context.Context, rp RetryPolicy, attempt int) error {
 	}
 }
 
+// retryAfterHint extracts the backoff hint from the previous attempt's
+// error, zero when there is none.
+func retryAfterHint(err error) time.Duration {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
+}
+
 // Wait polls a submitted job until it reaches a terminal state (done or
 // failed), backing off between polls from BaseBackoff up to MaxBackoff.
-// The context bounds the total wait.
+// A shedding server (429, or a retried-out 503) does not abort the wait —
+// the job is still queued server-side — it keeps polling with the server's
+// Retry-After hint as the poll-delay floor, mirroring fleet.Worker, so a
+// browning-out server is not hammered by its own waiters. Any other error
+// is terminal. The context bounds the total wait.
 func (c *Client) Wait(ctx context.Context, id int64) (*JobResult, error) {
 	rp := c.Retry.withDefaults()
 	delay := rp.BaseBackoff
 	for {
 		jr, err := c.Result(ctx, id)
+		var shed *ServerError
 		if err != nil {
-			return nil, err
-		}
-		if jr.Status == JobDone || jr.Status == JobFailed {
+			if !errors.As(err, &shed) ||
+				(shed.StatusCode != http.StatusTooManyRequests && shed.StatusCode != http.StatusServiceUnavailable) {
+				return nil, err
+			}
+		} else if jr.Status == JobDone || jr.Status == JobFailed {
 			return jr, nil
 		}
-		t := time.NewTimer(delay)
+		wait := delay
+		if shed != nil && shed.RetryAfter > wait {
+			wait = shed.RetryAfter
+		}
+		t := time.NewTimer(wait)
 		select {
 		case <-ctx.Done():
 			t.Stop()

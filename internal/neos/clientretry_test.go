@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -197,6 +198,89 @@ func TestWaitSurfacesFailedJob(t *testing.T) {
 	}
 	if jr.Error == "" && (jr.Result == nil || jr.Result.Error == "") {
 		t.Fatalf("failed job carries no error detail: %+v", jr)
+	}
+}
+
+// TestWaitHonorsRetryAfterOnShed is the regression test for waiters
+// hammering a shedding server: a 429 from /result used to abort Wait with
+// an error and ignored the server's Retry-After hint entirely. Wait must
+// instead keep polling — the job is still queued — with the hint as the
+// poll-delay floor, like fleet.Worker's lease loop.
+func TestWaitHonorsRetryAfterOnShed(t *testing.T) {
+	const hint = 250 * time.Millisecond
+	var calls int32
+	var afterShed atomic.Int64 // unix-nano of the poll following the shed
+	var shedAt atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch atomic.AddInt32(&calls, 1) {
+		case 1:
+			shedAt.Store(time.Now().UnixNano())
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error":"overloaded: solve queue full","retry_after_ms":%d}`, hint.Milliseconds())
+		default:
+			afterShed.CompareAndSwap(0, time.Now().UnixNano())
+			writeJSON(w, http.StatusOK, &JobResult{ID: 7, Status: JobDone,
+				Result: &SolveResponse{Status: "optimal", Objective: 3}})
+		}
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retry = fastRetryPolicy() // base 1ms: without the floor the re-poll lands long before the hint
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	jr, err := c.Wait(ctx, 7)
+	if err != nil {
+		t.Fatalf("Wait aborted on a shed response: %v", err)
+	}
+	if jr.Status != JobDone || jr.Result == nil || jr.Result.Objective != 3 {
+		t.Fatalf("result after shed = %+v", jr)
+	}
+	if gap := time.Duration(afterShed.Load() - shedAt.Load()); gap < hint {
+		t.Fatalf("Wait re-polled %v after the shed, ignoring the %v Retry-After hint", gap, hint)
+	}
+}
+
+// TestDoRetryFloorsBackoffAtRetryAfter verifies the retry loop under every
+// client call: a 503 carrying a Retry-After hint must not be retried before
+// the hint elapses, even when the policy's exponential schedule (and its
+// MaxBackoff cap) would retry much sooner.
+func TestDoRetryFloorsBackoffAtRetryAfter(t *testing.T) {
+	const hint = 250 * time.Millisecond
+	var times []time.Time
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		n := len(times)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error":"draining","retry_after_ms":%d}`, hint.Milliseconds())
+			return
+		}
+		writeJSON(w, http.StatusOK, &SolveResponse{Status: "optimal", Objective: 10})
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retry = fastRetryPolicy() // MaxBackoff 5ms — the hint must override it
+	out, err := c.Solve(context.Background(), &SolveRequest{Model: tinyModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "optimal" {
+		t.Fatalf("status = %q", out.Status)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(times) != 2 {
+		t.Fatalf("server saw %d calls, want 2", len(times))
+	}
+	if gap := times[1].Sub(times[0]); gap < hint {
+		t.Fatalf("retried %v after a 503 with a %v Retry-After hint", gap, hint)
 	}
 }
 

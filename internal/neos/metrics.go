@@ -50,6 +50,9 @@ type Metrics struct {
 	// Store describes the result store (chunk counts, dedup ratio, warmed
 	// cache entries); nil/omitted without Config.StoreDir.
 	Store *StoreMetrics `json:"store,omitempty"`
+	// Peer describes cache peering (sibling consults on cache misses);
+	// nil/omitted without Config.Peers.
+	Peer *PeerMetrics `json:"peer,omitempty"`
 }
 
 // SolveStats summarizes solver invocations (cache hits never reach the

@@ -1,0 +1,221 @@
+package neos
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Cache peering. A shard behind the fleet router normally sees every
+// request for its digests, but ring resizes, failovers and bounded-load
+// spills hand digests to shards that never solved them. Before paying for
+// a solver invocation on a cache miss, a shard with Config.Peers consults
+// its ring siblings: GET /history/solve/{key}?limit=1 names the peer's
+// newest persisted result for the model, GET /blob/{hash} fetches the
+// bytes, and a full-quality response warms the local cache — so a digest
+// migrating across the ring carries its answer with it instead of being
+// re-solved.
+//
+// The consult is strictly bounded (PeerBudget across all peers) and
+// strictly validating: transport errors, 404s (peer never solved it),
+// integrity failures (the peer's /blob refuses corrupt chunks with a 500),
+// unparseable bytes, and best-effort answers ("error"/"deadline" status or
+// degraded quality) all fall through to the local solver. Peering runs
+// inside the solve singleflight, so a thundering herd on one digest costs
+// one consult, not one per request.
+
+// defaultPeerBudget bounds one solve's whole peer consult when
+// Config.PeerBudget is unset. Peer fetches are two small local-network
+// round-trips; a solver invocation costs milliseconds to minutes.
+const defaultPeerBudget = 150 * time.Millisecond
+
+// peering is the sibling-consult state hung off a Server.
+type peering struct {
+	peers  []string
+	budget time.Duration
+	http   *http.Client
+
+	hits   atomic.Uint64 // cache fills served by a sibling
+	misses atomic.Uint64 // consults where no sibling had the key
+	errs   atomic.Uint64 // peer responses rejected (transport, corrupt, junk)
+}
+
+// newPeering builds the consult state, or nil when cfg names no peers.
+func newPeering(cfg Config) *peering {
+	var peers []string
+	seen := map[string]bool{}
+	for _, u := range cfg.Peers {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		peers = append(peers, u)
+	}
+	if len(peers) == 0 {
+		return nil
+	}
+	budget := cfg.PeerBudget
+	if budget <= 0 {
+		budget = defaultPeerBudget
+	}
+	return &peering{
+		peers:  peers,
+		budget: budget,
+		// A dedicated client: the consult must never inherit a proxied
+		// default transport's cookie jar or an unbounded timeout.
+		http: &http.Client{Timeout: budget},
+	}
+}
+
+// order returns the peers in the key's rendezvous order — the same
+// highest-random-weight rule the router uses — so every shard consulting
+// for one digest walks its siblings in the same sequence and the digest's
+// likeliest holders are asked first.
+func (p *peering) order(key string) []string {
+	type ranked struct {
+		peer  string
+		score uint64
+	}
+	rs := make([]ranked, len(p.peers))
+	for i, peer := range p.peers {
+		h := sha256.New()
+		io.WriteString(h, peer)
+		h.Write([]byte{0})
+		io.WriteString(h, key)
+		var sum [sha256.Size]byte
+		rs[i] = ranked{peer, binary.BigEndian.Uint64(h.Sum(sum[:0]))}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score > rs[j].score
+		}
+		return rs[i].peer < rs[j].peer
+	})
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.peer
+	}
+	return out
+}
+
+// fetch asks the siblings for the key's persisted result, returning the
+// first full-quality response or nil (local solve). The shared budget
+// bounds the whole walk: a slow peer eats the remaining peers' time, which
+// is the deliberate trade — peering may only ever delay a solve by budget.
+func (p *peering) fetch(ctx context.Context, key string) *SolveResponse {
+	ctx, cancel := context.WithTimeout(ctx, p.budget)
+	defer cancel()
+	for _, peer := range p.order(key) {
+		if ctx.Err() != nil {
+			break
+		}
+		resp, ok := p.fetchFrom(ctx, peer, key)
+		if resp != nil {
+			p.hits.Add(1)
+			return resp
+		}
+		if !ok {
+			p.errs.Add(1)
+		}
+	}
+	p.misses.Add(1)
+	return nil
+}
+
+// fetchFrom asks one peer. It returns (response, true) on a usable hit,
+// (nil, true) on a clean miss (the peer simply never solved the model),
+// and (nil, false) when the peer misbehaved — transport failure, corrupt
+// blob, undecodable or best-effort payload.
+func (p *peering) fetchFrom(ctx context.Context, peer, key string) (*SolveResponse, bool) {
+	var history []HistoryEntry
+	status, err := p.getJSON(ctx, fmt.Sprintf("%s/history/%s%s?limit=1", peer, solveKeyPrefix, key), &history)
+	if err != nil {
+		return nil, status == http.StatusNotFound // 404: peer never solved it
+	}
+	if len(history) == 0 || history[0].Value == "" {
+		return nil, true
+	}
+	var resp SolveResponse
+	// A corrupt chunk surfaces here as the peer's 500 ("blob failed
+	// integrity verification") and is treated exactly like junk bytes:
+	// rejected, never warmed.
+	if _, err := p.getJSON(ctx, peer+"/blob/"+history[0].Value, &resp); err != nil {
+		return nil, false
+	}
+	if !peerWarmable(&resp) {
+		return nil, false
+	}
+	return &resp, true
+}
+
+// getJSON GETs url and decodes the body into out, returning the HTTP
+// status (0 on transport failure) and an error for any non-200 or
+// undecodable response.
+func (p *peering) getJSON(ctx context.Context, url string, out interface{}) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := p.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("peer: %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return resp.StatusCode, fmt.Errorf("peer: %s: %v", url, err)
+	}
+	return resp.StatusCode, nil
+}
+
+// peerWarmable applies the same bar cacheBackend.Save applies locally: only
+// certified full-quality answers may warm a cache. A peer is trusted for
+// bytes, not for judgement — re-validate here even though well-behaved
+// peers never persist best-effort results in the first place.
+func peerWarmable(resp *SolveResponse) bool {
+	switch resp.Status {
+	case "", "error", "deadline":
+		return false
+	}
+	return resp.Quality == ""
+}
+
+// PeerMetrics is the /metrics section describing cache peering.
+type PeerMetrics struct {
+	// Peers is the configured sibling count.
+	Peers int `json:"peers"`
+	// Hits counts solves answered from a sibling's persisted result with
+	// zero local solver invocations; Misses counts consults where no
+	// sibling had the key; Errors counts rejected peer responses
+	// (transport failures, corrupt blobs, junk or best-effort payloads).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Errors uint64 `json:"errors"`
+}
+
+func (s *Server) peerMetrics() *PeerMetrics {
+	if s.peering == nil {
+		return nil
+	}
+	return &PeerMetrics{
+		Peers:  len(s.peering.peers),
+		Hits:   s.peering.hits.Load(),
+		Misses: s.peering.misses.Load(),
+		Errors: s.peering.errs.Load(),
+	}
+}

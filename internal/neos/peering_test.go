@@ -1,0 +1,230 @@
+package neos
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPeerWarmServesWithoutSolver is the peering acceptance scenario: shard
+// A solves and persists a model; shard B, a ring sibling that has never
+// seen it, answers the same model from A's persisted result with zero
+// local solver invocations — and persists it locally via write-through.
+func TestPeerWarmServesWithoutSolver(t *testing.T) {
+	ctx := context.Background()
+	_, aSrv, aClient := newServerWith(t, Config{
+		MaxConcurrent: 2, StoreDir: t.TempDir(), CachePersist: true,
+	})
+	first, err := aClient.Solve(ctx, &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != "optimal" {
+		t.Fatalf("status = %q", first.Status)
+	}
+
+	bDir := t.TempDir()
+	_, _, bClient := newServerWith(t, Config{
+		MaxConcurrent: 2, StoreDir: bDir, CachePersist: true,
+		Peers: []string{aSrv.URL},
+	})
+	// miniModelReformatted canonicalizes to the same digest, so the peer
+	// lookup must hit even though the bytes differ.
+	second, err := bClient.Solve(ctx, &SolveRequest{Model: miniModelReformatted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Status != "optimal" || second.Objective != first.Objective {
+		t.Fatalf("peer-warmed answer = %+v, want %+v", second, first)
+	}
+
+	m, err := bClient.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Count != 0 {
+		t.Fatalf("shard B invoked its solver %d times; the peer should have answered", m.Solves.Count)
+	}
+	if m.Peer == nil || m.Peer.Hits != 1 || m.Peer.Peers != 1 {
+		t.Fatalf("peer metrics = %+v, want 1 hit over 1 peer", m.Peer)
+	}
+	// Write-through: the warmed result must now be persisted on B too.
+	if m.Store == nil || m.Store.Keys != 1 {
+		t.Fatalf("store metrics = %+v; the peer fill should have persisted locally", m.Store)
+	}
+
+	// B is now self-sufficient: kill A and re-ask via B's own cache.
+	aSrv.Close()
+	third, err := bClient.Solve(ctx, &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Status != "optimal" || third.Objective != first.Objective {
+		t.Fatalf("post-warm answer = %+v", third)
+	}
+}
+
+// TestPeerDownFallsThroughToLocalSolve: a dead sibling must cost at most
+// the peer budget, never correctness — the shard solves locally.
+func TestPeerDownFallsThroughToLocalSolve(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	_, _, c := newServerWith(t, Config{
+		MaxConcurrent: 2, Peers: []string{dead.URL},
+	})
+	ctx := context.Background()
+	out, err := c.Solve(ctx, &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "optimal" {
+		t.Fatalf("status = %q with a dead peer, want local solve", out.Status)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Count != 1 {
+		t.Fatalf("solver ran %d times, want 1 local solve", m.Solves.Count)
+	}
+	if m.Peer == nil || m.Peer.Errors == 0 || m.Peer.Hits != 0 {
+		t.Fatalf("peer metrics = %+v, want errors counted, no hits", m.Peer)
+	}
+}
+
+// TestPeerWithoutKeyIsCleanMiss: a healthy sibling that never solved the
+// model answers 404, which counts as a miss — not an error.
+func TestPeerWithoutKeyIsCleanMiss(t *testing.T) {
+	_, aSrv, _ := newServerWith(t, Config{
+		MaxConcurrent: 2, StoreDir: t.TempDir(), CachePersist: true,
+	})
+	_, _, c := newServerWith(t, Config{
+		MaxConcurrent: 2, Peers: []string{aSrv.URL},
+	})
+	ctx := context.Background()
+	if out, err := c.Solve(ctx, &SolveRequest{Model: miniModel}); err != nil || out.Status != "optimal" {
+		t.Fatalf("solve = %+v, %v", out, err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Peer == nil || m.Peer.Misses != 1 || m.Peer.Errors != 0 {
+		t.Fatalf("peer metrics = %+v, want 1 clean miss, 0 errors", m.Peer)
+	}
+}
+
+// TestPeerCorruptBlobNotWarmed: a sibling whose persisted blob fails
+// integrity verification (its /blob returns 500, never the altered bytes)
+// must not warm the consulting shard's cache; the model is re-solved
+// locally and the correct answer wins.
+func TestPeerCorruptBlobNotWarmed(t *testing.T) {
+	ctx := context.Background()
+	aDir := t.TempDir()
+	_, aSrv, aClient := newServerWith(t, Config{
+		MaxConcurrent: 2, StoreDir: aDir, CachePersist: true,
+	})
+	first, err := aClient.Solve(ctx, &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit in the persisted blob's chunk file on A's disk. The
+	// value hash comes from A's own history endpoint — the same lookup a
+	// peer performs.
+	key, err := RequestKey(&SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(aSrv.URL + "/history/solve/" + key + "?limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []HistoryEntry
+	if err := json.NewDecoder(resp.Body).Decode(&history); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(history) == 0 {
+		t.Fatal("shard A persisted nothing")
+	}
+	h := history[0].Value
+	chunk := filepath.Join(aDir, "chunks", h[:2], h[2:])
+	raw, err := os.ReadFile(chunk)
+	if err != nil {
+		t.Fatalf("chunk file for %s: %v", h, err)
+	}
+	// The chunk store reads and re-verifies every Get from disk, so the
+	// flipped bit is visible to A's /blob immediately: it responds 500
+	// rather than serve bytes that fail integrity verification.
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(chunk, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, bClient := newServerWith(t, Config{
+		MaxConcurrent: 2, Peers: []string{aSrv.URL},
+	})
+	out, err := bClient.Solve(ctx, &SolveRequest{Model: miniModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "optimal" || out.Objective != first.Objective {
+		t.Fatalf("answer after corrupt peer = %+v, want locally solved %+v", out, first)
+	}
+	m, err := bClient.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Count != 1 {
+		t.Fatalf("solver ran %d times, want exactly 1 local solve after rejecting the corrupt blob", m.Solves.Count)
+	}
+	if m.Peer == nil || m.Peer.Hits != 0 || m.Peer.Errors == 0 {
+		t.Fatalf("peer metrics = %+v: a corrupt blob must count as an error, never a hit", m.Peer)
+	}
+}
+
+// TestPeerRejectsBestEffortAnswers: even if a (misbehaving) peer serves a
+// deadline or degraded payload, the consulting shard must not warm it.
+func TestPeerRejectsBestEffortAnswers(t *testing.T) {
+	for _, bad := range []*SolveResponse{
+		{Status: "deadline", Objective: 1},
+		{Status: "error", Error: "boom"},
+		{Status: "optimal", Quality: "degraded", Objective: 2},
+	} {
+		blob, err := json.Marshal(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/history/", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, []HistoryEntry{{Value: "deadbeef", Seq: 1}})
+		})
+		mux.HandleFunc("/blob/", func(w http.ResponseWriter, r *http.Request) {
+			w.Write(blob)
+		})
+		evil := httptest.NewServer(mux)
+
+		_, _, c := newServerWith(t, Config{MaxConcurrent: 2, Peers: []string{evil.URL}})
+		out, err := c.Solve(context.Background(), &SolveRequest{Model: miniModel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Status != "optimal" || out.Quality != "" {
+			t.Fatalf("peer payload %q warmed through: %+v", bad.Status, out)
+		}
+		m, err := c.Metrics(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Solves.Count != 1 || m.Peer.Hits != 0 || m.Peer.Errors == 0 {
+			t.Fatalf("payload %q: solves=%d peer=%+v, want local solve + rejected consult",
+				bad.Status, m.Solves.Count, m.Peer)
+		}
+		evil.Close()
+	}
+}

@@ -94,6 +94,17 @@ type Config struct {
 	// StoreKeepHistory truncates each store key's history to its newest N
 	// commits during janitor garbage collection (0 keeps everything).
 	StoreKeepHistory int
+	// Peers are ring-sibling shard base URLs (this server's own URL
+	// excluded) consulted on a solve-cache miss: before invoking a solver
+	// the server asks each sibling, in the key's deterministic rendezvous
+	// order, for a persisted full-quality result — GET /history/solve/{key}
+	// then GET /blob/{hash} — and warms its local cache from the first hit.
+	// Corrupt blobs, junk payloads and best-effort answers never warm;
+	// they fall through to a local solve.
+	Peers []string
+	// PeerBudget bounds one solve's whole peer consult, across all peers
+	// (default 150ms). Past it the server stops asking and solves locally.
+	PeerBudget time.Duration
 	// LeaseTTL is the default lease duration granted to pull workers on
 	// /work/lease (default 30s). A worker may request its own TTL, clamped
 	// to [1s, 10×LeaseTTL]. It is also the floor of the lease in-process
@@ -185,6 +196,9 @@ type Server struct {
 	// warmed is how many cache entries Warm loaded from it at startup.
 	results *resultstore.Store
 	warmed  int
+	// peering consults ring siblings for persisted results on cache
+	// misses; nil without Config.Peers.
+	peering *peering
 	// solveFn executes one request on the async path; solveCached unless a
 	// test injected a fault hook via Config.
 	solveFn func(ctx context.Context, req *SolveRequest) *SolveResponse
@@ -247,6 +261,7 @@ func NewServerWith(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.warmed = warmed
+	s.peering = newPeering(cfg)
 	s.solveFn = s.solveCached
 	if cfg.solveHook != nil {
 		s.solveFn = cfg.solveHook
@@ -333,6 +348,15 @@ func requestKey(req *SolveRequest) (string, *ampl.Result, error) {
 	return hex.EncodeToString(h.Sum(nil)), parsed, nil
 }
 
+// RequestKey returns the content-addressed fingerprint of a solve request:
+// the solve-cache key, the persisted-result key suffix, and the digest the
+// shard router consistent-hashes on — one identity for one model, at every
+// tier of the fleet.
+func RequestKey(req *SolveRequest) (string, error) {
+	key, _, err := requestKey(req)
+	return key, err
+}
+
 // solveCached is the solve path for async jobs and the unprotected sync
 // path: cache lookup, then singleflight-coalesced solver invocation, then
 // cache fill. Parse errors are returned uncached (status "error"). ctx may
@@ -355,6 +379,18 @@ func (s *Server) solveCached(ctx context.Context, req *SolveRequest) *SolveRespo
 // safe because deadline results are never cached.
 func (s *Server) solveFlight(ctx context.Context, key string, parsed *ampl.Result, req *SolveRequest) *SolveResponse {
 	resp, _, _ := s.flight.Do(key, func() (*SolveResponse, error) {
+		// Cache peering: a ring sibling may hold this key's persisted
+		// answer (the digest migrated here via resize, failover or a
+		// bounded-load spill). The consult runs inside the singleflight —
+		// one consult per herd — and before the solver semaphore, so it
+		// never occupies a solve slot. A warm fill writes through the
+		// cache backend, persisting the result locally too.
+		if s.peering != nil {
+			if resp := s.peering.fetch(ctx, key); resp != nil {
+				s.cache.Put(key, resp)
+				return resp, nil
+			}
+		}
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
 		sctx := ctx
@@ -599,6 +635,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	m.Overload = s.overloadMetrics()
 	m.Store = s.storeMetrics()
+	m.Peer = s.peerMetrics()
 	writeJSON(w, http.StatusOK, m)
 }
 

@@ -1,0 +1,131 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkShards(ids ...string) []*Shard {
+	out := make([]*Shard, len(ids))
+	for i, id := range ids {
+		out[i] = &Shard{ID: id, URL: "http://" + id}
+		out[i].healthy.Store(true)
+	}
+	return out
+}
+
+func digests(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("digest-%04d", i)
+	}
+	return out
+}
+
+// TestRingOrderIgnoresRegistrationOrder: the same digest must produce the
+// same full preference order whatever order the shards were registered in
+// — the property that lets every router (and every shard picking peers)
+// agree on placement without coordination.
+func TestRingOrderIgnoresRegistrationOrder(t *testing.T) {
+	a := NewRing(mkShards("s1", "s2", "s3", "s4"), 0)
+	b := NewRing(mkShards("s3", "s1", "s4", "s2"), 0)
+	for _, d := range digests(200) {
+		oa, ob := a.Order(d), b.Order(d)
+		if len(oa) != len(ob) {
+			t.Fatalf("order lengths differ: %d vs %d", len(oa), len(ob))
+		}
+		for i := range oa {
+			if oa[i].ID != ob[i].ID {
+				t.Fatalf("digest %s: order[%d] = %s vs %s (registration order leaked into placement)",
+					d, i, oa[i].ID, ob[i].ID)
+			}
+		}
+	}
+}
+
+// TestRingResizeMovesFewKeys: growing the ring from N to N+1 shards must
+// move only the keys whose new top choice is the added shard — about
+// 1/(N+1) of them — and every moved key must land on the new shard.
+func TestRingResizeMovesFewKeys(t *testing.T) {
+	const n, keys = 4, 4000
+	old := NewRing(mkShards("s1", "s2", "s3", "s4"), 0)
+	grown := NewRing(mkShards("s1", "s2", "s3", "s4", "s5"), 0)
+	moved := 0
+	for _, d := range digests(keys) {
+		was, now := old.Order(d)[0].ID, grown.Order(d)[0].ID
+		if was == now {
+			continue
+		}
+		moved++
+		if now != "s5" {
+			t.Fatalf("digest %s moved %s -> %s; resize may only move keys onto the new shard", d, was, now)
+		}
+	}
+	want := keys / (n + 1)
+	if moved == 0 || moved > 2*want {
+		t.Fatalf("resize moved %d/%d keys; want ~%d (at most %d)", moved, keys, want, 2*want)
+	}
+	t.Logf("resize moved %d/%d keys (expected ~%d)", moved, keys, want)
+}
+
+// TestRingPickSkipsUnhealthy: failover order is the rendezvous order with
+// down shards removed, deterministically.
+func TestRingPickSkipsUnhealthy(t *testing.T) {
+	shards := mkShards("s1", "s2", "s3")
+	r := NewRing(shards, 0)
+	for _, d := range digests(50) {
+		order := r.Order(d)
+		order[0].healthy.Store(false)
+		cands, _ := r.Pick(d)
+		if len(cands) != 2 || cands[0].ID != order[1].ID || cands[1].ID != order[2].ID {
+			t.Fatalf("digest %s with %s down: candidates %v, want rendezvous tail [%s %s]",
+				d, order[0].ID, ids(cands), order[1].ID, order[2].ID)
+		}
+		order[0].healthy.Store(true)
+	}
+	for _, s := range shards {
+		s.healthy.Store(false)
+	}
+	if cands, _ := r.Pick("anything"); len(cands) != 0 {
+		t.Fatalf("all shards down but Pick returned %v", ids(cands))
+	}
+}
+
+// TestRingBoundedLoadSpillsHotDigest: a digest whose home shard is already
+// carrying far more than its fair share of in-flight requests must be
+// demoted, spilling the hot digest onto the next shard in its preference
+// order — and the demoted shard stays available as the last resort.
+func TestRingBoundedLoadSpillsHotDigest(t *testing.T) {
+	r := NewRing(mkShards("s1", "s2", "s3"), 1.25)
+	const d = "viral-digest"
+	order := r.Order(d)
+	home := order[0]
+
+	// Idle ring: the home shard is the first candidate, no spill.
+	cands, spilled := r.Pick(d)
+	if spilled || cands[0] != home {
+		t.Fatalf("idle ring spilled: candidates %v, home %s", ids(cands), home.ID)
+	}
+
+	// Pile 30 in-flight requests on the home shard: fair share of 31 total
+	// across 3 shards is ~10, bound is ceil(1.25×31/3)=13, so 30 is
+	// overfull and must be demoted to the back.
+	home.inflight.Add(30)
+	defer home.inflight.Add(-30)
+	cands, spilled = r.Pick(d)
+	if !spilled {
+		t.Fatal("hot home shard not reported as a spill")
+	}
+	if cands[0] != order[1] || cands[len(cands)-1] != home {
+		t.Fatalf("hot digest candidates %v, want home %s demoted behind [%s %s]",
+			ids(cands), home.ID, order[1].ID, order[2].ID)
+	}
+}
+
+func ids(shards []*Shard) []string {
+	out := make([]string, len(shards))
+	for i, s := range shards {
+		out[i] = s.ID
+	}
+	return out
+}

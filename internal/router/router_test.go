@@ -1,0 +1,314 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubShard is a minimal hslbserver stand-in: /ready says yes, /solve runs
+// the given handler.
+func stubShard(solve http.HandlerFunc) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ready", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/solve", solve)
+	return httptest.NewServer(mux)
+}
+
+func newTestRouter(t *testing.T, shardURLs ...string) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(Config{
+		Shards: shardURLs,
+		// Probes only at construction: tests flip health via transport
+		// errors deterministically, not via a racing background loop.
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return rt, front
+}
+
+func solveBody(bound int) string {
+	return fmt.Sprintf(`{"model":"var x integer >= 1 <= %d;\nminimize obj: 100 / x;\n"}`, bound)
+}
+
+func postSolve(t *testing.T, frontURL, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(frontURL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func routerMetrics(t *testing.T, frontURL string) Metrics {
+	t.Helper()
+	resp, err := http.Get(frontURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRouterPinsDigestToOneShard: repeated posts of the same model all land
+// on one shard (so its solve cache actually gets hit), while a spread of
+// distinct models uses more than one shard.
+func TestRouterPinsDigestToOneShard(t *testing.T) {
+	hits := map[string]int{}
+	mkShard := func(name string) *httptest.Server {
+		return stubShard(func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			hits[name]++ // tests post sequentially; no lock needed
+			fmt.Fprintf(w, `{"status":"optimal","served_by":%q}`, name)
+		})
+	}
+	s1, s2 := mkShard("s1"), mkShard("s2")
+	defer s1.Close()
+	defer s2.Close()
+	_, front := newTestRouter(t, s1.URL, s2.URL)
+
+	for i := 0; i < 6; i++ {
+		resp := postSolve(t, front.URL, solveBody(10))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if hits["s1"] != 0 && hits["s2"] != 0 {
+		t.Fatalf("one digest split across shards: %v", hits)
+	}
+	if hits["s1"]+hits["s2"] != 6 {
+		t.Fatalf("lost requests: %v", hits)
+	}
+
+	for bound := 2; bound < 40; bound++ {
+		resp := postSolve(t, front.URL, solveBody(bound))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if hits["s1"] == 0 || hits["s2"] == 0 {
+		t.Fatalf("38 distinct models never spread over both shards: %v", hits)
+	}
+}
+
+// TestRouterPlacementIgnoresShardListOrder: two routers configured with the
+// same shards in opposite order must send a digest to the same shard —
+// end-to-end proof of the rendezvous property for operators running
+// multiple router instances.
+func TestRouterPlacementIgnoresShardListOrder(t *testing.T) {
+	served := func(t *testing.T, frontURL, body string) string {
+		resp := postSolve(t, frontURL, body)
+		defer resp.Body.Close()
+		var out struct {
+			ServedBy string `json:"served_by"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.ServedBy
+	}
+	mkShard := func(name string) *httptest.Server {
+		return stubShard(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"served_by":%q}`, name)
+		})
+	}
+	s1, s2, s3 := mkShard("a"), mkShard("b"), mkShard("c")
+	defer s1.Close()
+	defer s2.Close()
+	defer s3.Close()
+	_, frontA := newTestRouter(t, s1.URL, s2.URL, s3.URL)
+	_, frontB := newTestRouter(t, s3.URL, s1.URL, s2.URL)
+
+	for bound := 2; bound < 22; bound++ {
+		body := solveBody(bound)
+		if a, b := served(t, frontA.URL, body), served(t, frontB.URL, body); a != b {
+			t.Fatalf("model %d: router A placed on %q, router B on %q", bound, a, b)
+		}
+	}
+}
+
+// TestRouterRetryAfterPassthrough: a shedding shard's 429/503 must reach
+// the end client with the shard's own Retry-After hint — header and
+// retry_after_ms body — intact, not a router-synthesized value.
+func TestRouterRetryAfterPassthrough(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		want   func(m Metrics) uint64
+	}{
+		{http.StatusTooManyRequests, func(m Metrics) uint64 { return m.Passthrough429 }},
+		{http.StatusServiceUnavailable, func(m Metrics) uint64 { return m.Passthrough503 }},
+	} {
+		t.Run(fmt.Sprint(tc.status), func(t *testing.T) {
+			shard := stubShard(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Retry-After", "7")
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(tc.status)
+				fmt.Fprint(w, `{"error":"overloaded: solve queue full","retry_after_ms":6789}`)
+			})
+			defer shard.Close()
+			_, front := newTestRouter(t, shard.URL)
+
+			resp := postSolve(t, front.URL, solveBody(10))
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d relayed", resp.StatusCode, tc.status)
+			}
+			if got := resp.Header.Get("Retry-After"); got != "7" {
+				t.Fatalf("Retry-After = %q, want the shard's own \"7\"", got)
+			}
+			var body struct {
+				Error        string `json:"error"`
+				RetryAfterMS int64  `json:"retry_after_ms"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatal(err)
+			}
+			if body.RetryAfterMS != 6789 || !strings.Contains(body.Error, "queue full") {
+				t.Fatalf("shard shed body rewritten: %+v", body)
+			}
+			if m := routerMetrics(t, front.URL); tc.want(m) != 1 {
+				t.Fatalf("passthrough counter not bumped: %+v", m)
+			}
+		})
+	}
+}
+
+// TestRouterFailsOverOnTransportError: when the digest's home shard dies at
+// the transport level, the request is retried on the next shard in
+// rendezvous order and the client still sees exactly one good response.
+func TestRouterFailsOverOnTransportError(t *testing.T) {
+	mkShard := func(name string) *httptest.Server {
+		return stubShard(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"served_by":%q}`, name)
+		})
+	}
+	s1, s2 := mkShard("a"), mkShard("b")
+	defer s1.Close()
+	defer s2.Close()
+	rt, front := newTestRouter(t, s1.URL, s2.URL)
+
+	body := solveBody(10)
+	resp := postSolve(t, front.URL, body)
+	var out struct {
+		ServedBy string `json:"served_by"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Kill the shard that served it and repeat the identical request.
+	home, backup := s1, "b"
+	if out.ServedBy == "b" {
+		home, backup = s2, "a"
+	}
+	home.CloseClientConnections()
+	home.Close()
+
+	resp = postSolve(t, front.URL, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after home shard died; want failover to succeed", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ServedBy != backup {
+		t.Fatalf("served by %q, want failover target %q", out.ServedBy, backup)
+	}
+	m := routerMetrics(t, front.URL)
+	if m.Failovers == 0 {
+		t.Fatalf("failover not counted: %+v", m)
+	}
+	for _, s := range rt.Ring().Shards() {
+		if s.URL == strings.TrimRight(home.URL, "/") && s.Healthy() {
+			t.Fatal("dead shard still marked healthy after transport error")
+		}
+	}
+}
+
+// TestRouterNoShardSheds503: with every shard down the router synthesizes
+// its own 503 — with a Retry-After so clients back off — and /ready fails
+// so upstream balancers drop this router too.
+func TestRouterNoShardSheds503(t *testing.T) {
+	dead := stubShard(func(w http.ResponseWriter, r *http.Request) {})
+	dead.Close() // down before the router's first probe
+	_, front := newTestRouter(t, dead.URL)
+
+	resp := postSolve(t, front.URL, solveBody(10))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("router-level shed carries no Retry-After")
+	}
+	var body struct {
+		RetryAfterMS int64 `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.RetryAfterMS <= 0 {
+		t.Fatalf("retry_after_ms = %d, want > 0", body.RetryAfterMS)
+	}
+
+	ready, err := http.Get(front.URL + "/ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, ready.Body)
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/ready = %d with no healthy shard, want 503", ready.StatusCode)
+	}
+	if m := routerMetrics(t, front.URL); m.NoShard503 != 1 {
+		t.Fatalf("no-shard counter not bumped: %+v", m)
+	}
+}
+
+// TestRouterPropagatesDeadlineHeader: the client's X-Request-Deadline-Ms
+// must reach the shard verbatim so the shard's own deadline shedding works
+// behind the router.
+func TestRouterPropagatesDeadlineHeader(t *testing.T) {
+	var seen string
+	shard := stubShard(func(w http.ResponseWriter, r *http.Request) {
+		seen = r.Header.Get("X-Request-Deadline-Ms")
+		fmt.Fprint(w, `{"status":"optimal"}`)
+	})
+	defer shard.Close()
+	_, front := newTestRouter(t, shard.URL)
+
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/solve", strings.NewReader(solveBody(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Deadline-Ms", "30000")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if seen != "30000" {
+		t.Fatalf("shard saw deadline header %q, want \"30000\"", seen)
+	}
+}
