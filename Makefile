@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet fmt race chaos bench bench-gate load fsck fleet load-fleet
+.PHONY: verify build test vet fmt race chaos chaos-fleet bench bench-gate load fsck fleet load-fleet
 
-verify: build vet fmt test race load fsck fleet load-fleet bench-gate
+verify: build vet fmt test race chaos-fleet load fsck fleet load-fleet bench-gate
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,20 @@ chaos:
 	$(GO) test -v -race -run 'TestChaosFleet' ./internal/fleet/
 	$(GO) test -v -race -run 'TestWorkLeaseExpiryReclaim|TestWorkIdempotentComplete|TestLocalWorkerPanicReclaimed' ./internal/neos/
 	$(GO) test -v -race -run 'TestLeaseConcurrentChaos|TestTornTailMidLeaseRecord' ./internal/jobstore/
+
+# Self-healing-fleet suite, all under the race detector: the faultnet
+# proxy's own fault repertoire (latency, partition, refuse, mid-stream
+# cut), R-way replication with anti-entropy repair (including a replica
+# push retried across a partition), peer-budget exhaustion against a
+# partitioned peer, and the router's live-membership surface (resize under
+# real traffic, in-flight completion on shard removal, flap damping,
+# SetShards racing Pick/Order). Environments without a usable loopback
+# listener self-skip the network-dependent tests with the reason recorded
+# in the test log (t.Skip via requireLoopback).
+chaos-fleet:
+	$(GO) test -v -race -run 'TestProxy' ./internal/faultnet/
+	$(GO) test -v -race -timeout 10m -run 'TestReplicate|TestAntiEntropy|TestPartitionedPeerDegradesWithinBudget|TestReplicationPushRetriesAcrossPartition' ./internal/neos/
+	$(GO) test -v -race -run 'TestRouterLiveResizeUnderTraffic|TestRouterRemovedShardInflightCompletes|TestAdminShardsRejectsBadSets|TestRouterFlapDamping|TestRingSetShardsConcurrentWithPick' ./internal/router/
 
 # Sequential-vs-parallel timing for the three hot paths (gather campaign,
 # deterministic NLP-BB solve ladder, racing-mode portfolio solve); writes

@@ -97,6 +97,23 @@ type report struct {
 		RouterFailovers uint64 `json:"router_failovers"`
 		Gate            string `json:"gate"`
 	} `json:"failover"`
+
+	Replication struct {
+		Corpus            int    `json:"corpus"`
+		VictimDigests     int    `json:"victim_digests"`
+		ReplicaIngests    uint64 `json:"replica_ingests"`
+		SolvesBeforeKill  uint64 `json:"survivor_solves_before_kill"`
+		SolvesAfterReplay uint64 `json:"survivor_solves_after_replay"`
+		Gate              string `json:"gate"`
+	} `json:"replication"`
+
+	Resize struct {
+		Requests       uint64 `json:"requests"`
+		Errors         uint64 `json:"errors"`
+		Added          int    `json:"added"`
+		NewShardRouted uint64 `json:"new_shard_routed"`
+		Gate           string `json:"gate"`
+	} `json:"resize"`
 }
 
 // fleet is the running harness state: built binaries plus every child
@@ -151,6 +168,12 @@ func run(phase time.Duration, clients int, minSpeedup float64, timeout time.Dura
 		failed = append(failed, err.Error())
 	}
 	if err := f.failoverPhase(rep, phase, clients); err != nil {
+		failed = append(failed, err.Error())
+	}
+	if err := f.replicaPhase(rep); err != nil {
+		failed = append(failed, err.Error())
+	}
+	if err := f.resizePhase(rep, phase, clients); err != nil {
 		failed = append(failed, err.Error())
 	}
 
@@ -402,6 +425,273 @@ func (f *fleet) failoverPhase(rep *report, phase time.Duration, clients int) err
 	return nil
 }
 
+// replicaPhase is the self-healing acceptance: three replicated shards
+// (R=2) behind the router, a solved corpus, then one shard SIGKILLed — the
+// dead shard's digests must be answered by their replica owners with ZERO
+// additional solver invocations fleet-wide.
+func (f *fleet) replicaPhase(rep *report) error {
+	// Mutual peering needs every URL before any shard starts: allocate the
+	// addresses first, then start each shard replicated against the others.
+	const nShards = 3
+	addrs := make([]string, nShards)
+	urls := make([]string, nShards)
+	for i := range addrs {
+		a, err := freeAddr()
+		if err != nil {
+			return err
+		}
+		addrs[i] = a
+		urls[i] = "http://" + a
+	}
+	type shard struct {
+		url string
+		cmd *exec.Cmd
+	}
+	shards := make([]shard, 0, nShards)
+	for i, addr := range addrs {
+		dir, err := os.MkdirTemp("", "hslbloadfleet-repl-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		url, cmd, err := f.startShardAt(addr,
+			"-store-dir", dir, "-cache-persist",
+			"-replicate", "2", "-self-url", urls[i],
+			"-peers", strings.Join(peers, ","),
+			"-peer-budget", "500ms")
+		if err != nil {
+			return err
+		}
+		defer reap(cmd, syscall.SIGTERM)
+		shards = append(shards, shard{url, cmd})
+	}
+	front, frontCmd, err := f.startRouter(urls)
+	if err != nil {
+		return err
+	}
+	defer reap(frontCmd, syscall.SIGTERM)
+
+	// The router's ring and the shards' replica ownership use the same
+	// rendezvous rule over the same URL strings, so this local ring
+	// predicts both: digest homes and replica owners.
+	ringShards := make([]*router.Shard, nShards)
+	for i, u := range urls {
+		ringShards[i] = &router.Shard{ID: u, URL: u}
+	}
+	ring := router.NewRing(ringShards, 0)
+
+	// Solve a corpus through the router, growing it until the designated
+	// victim homes at least 3 digests.
+	victim := shards[0]
+	frontClient := neos.NewClient(front)
+	type entry struct {
+		model     string
+		key       string
+		objective float64
+	}
+	var corpus []entry
+	var victimDigests int
+	base := phaseSeq.Add(1) * 1_000_000_000
+	for i := uint64(0); victimDigests < 3 || len(corpus) < 8; i++ {
+		if i > 64 {
+			return fmt.Errorf("replication: victim %s homed %d of %d digests; rendezvous placement looks broken",
+				victim.url, victimDigests, len(corpus))
+		}
+		model := fleetModel(base + i)
+		key, err := neos.RequestKey(&neos.SolveRequest{Model: model})
+		if err != nil {
+			return err
+		}
+		out, err := frontClient.Solve(f.ctx, &neos.SolveRequest{Model: model})
+		if err != nil {
+			return fmt.Errorf("replication: corpus solve: %w", err)
+		}
+		if out.Status != "optimal" || out.Quality != "" {
+			return fmt.Errorf("replication: corpus solve status %q quality %q", out.Status, out.Quality)
+		}
+		corpus = append(corpus, entry{model, key, out.Objective})
+		if ring.Order(key)[0].ID == victim.url {
+			victimDigests++
+		}
+	}
+	rep.Replication.Corpus = len(corpus)
+	rep.Replication.VictimDigests = victimDigests
+
+	// Convergence: every digest persisted on both of its owners.
+	check := &http.Client{Timeout: 5 * time.Second}
+	hasKey := func(shardURL, key string) bool {
+		resp, err := check.Get(shardURL + "/history/solve/" + key + "?limit=1")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, e := range corpus {
+		owners := ring.Order(e.key)[:2]
+		for _, o := range owners {
+			for !hasKey(o.ID, e.key) {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("replication: digest %.12s… never converged onto owner %s", e.key, o.ID)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+
+	// Snapshot survivor solver counts, then SIGKILL the victim.
+	survivorSolves := func() (solves, ingests uint64, err error) {
+		for _, s := range shards[1:] {
+			m, err := neos.NewClient(s.url).Metrics(f.ctx)
+			if err != nil {
+				return 0, 0, err
+			}
+			solves += m.Solves.Count
+			if m.Replication != nil {
+				ingests += m.Replication.Ingested
+			}
+		}
+		return solves, ingests, nil
+	}
+	before, ingests, err := survivorSolves()
+	if err != nil {
+		return err
+	}
+	rep.Replication.ReplicaIngests = ingests
+	rep.Replication.SolvesBeforeKill = before
+	_ = victim.cmd.Process.Kill()
+	_, _ = victim.cmd.Process.Wait()
+	fmt.Printf("replication: SIGKILLed shard %s (home of %d digest(s))\n", victim.url, victimDigests)
+
+	// Replay the whole corpus through the router. The victim's digests must
+	// be answered by their replica owners — correct objectives, zero new
+	// solver invocations anywhere.
+	for _, e := range corpus {
+		out, err := frontClient.Solve(f.ctx, &neos.SolveRequest{Model: e.model})
+		if err != nil {
+			rep.Replication.Gate = "fail"
+			return fmt.Errorf("replication: replay of %.12s… failed after the kill: %w", e.key, err)
+		}
+		if out.Status != "optimal" || out.Objective != e.objective {
+			rep.Replication.Gate = "fail"
+			return fmt.Errorf("replication: replay of %.12s… = %+v, want optimal %v", e.key, out, e.objective)
+		}
+	}
+	after, _, err := survivorSolves()
+	if err != nil {
+		return err
+	}
+	rep.Replication.SolvesAfterReplay = after
+	if after != before {
+		rep.Replication.Gate = "fail"
+		return fmt.Errorf("replication: replay cost %d solver invocation(s); replicas must answer for the dead shard", after-before)
+	}
+	rep.Replication.Gate = "pass"
+	fmt.Printf("replication gate pass: %d digests replayed over a dead shard, 0 solver invocations\n", len(corpus))
+	return nil
+}
+
+// resizePhase grows the ring 2 -> 3 through POST /admin/shards while a
+// closed loop runs: the live resize must fail zero requests and the new
+// shard must start taking traffic.
+func (f *fleet) resizePhase(rep *report, phase time.Duration, clients int) error {
+	var urls []string
+	for i := 0; i < 2; i++ {
+		url, cmd, err := f.startShard("-concurrency", "2")
+		if err != nil {
+			return err
+		}
+		urls = append(urls, url)
+		defer reap(cmd, syscall.SIGTERM)
+	}
+	front, frontCmd, err := f.startRouter(urls)
+	if err != nil {
+		return err
+	}
+	defer reap(frontCmd, syscall.SIGTERM)
+
+	// The resize lands mid-loop, with requests provably in flight.
+	resized := make(chan error, 1)
+	var newShardURL atomic.Value
+	go func() {
+		time.Sleep(phase / 2)
+		url, cmd, err := f.startShard("-concurrency", "2")
+		if err != nil {
+			resized <- err
+			return
+		}
+		f.track(cmd)
+		newShardURL.Store(url)
+		body, _ := json.Marshal(map[string][]string{"shards": append(append([]string(nil), urls...), url)})
+		resp, err := http.Post(front+"/admin/shards", "application/json", bytes.NewReader(body))
+		if err != nil {
+			resized <- fmt.Errorf("resize POST: %w", err)
+			return
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			resized <- fmt.Errorf("resize POST: status %d: %s", resp.StatusCode, payload)
+			return
+		}
+		var res struct {
+			Added []string `json:"added"`
+		}
+		if err := json.Unmarshal(payload, &res); err != nil {
+			resized <- fmt.Errorf("resize response %q: %w", payload, err)
+			return
+		}
+		rep.Resize.Added = len(res.Added)
+		resized <- nil
+	}()
+
+	res := f.closedLoop(front, phase, clients, nil)
+	if err := <-resized; err != nil {
+		rep.Resize.Gate = "fail"
+		return fmt.Errorf("resize: %w", err)
+	}
+	rep.Resize.Requests = res.full + res.partial + res.shed + res.errors
+	rep.Resize.Errors = res.errors
+	if res.errors > 0 {
+		rep.Resize.Gate = "fail"
+		return fmt.Errorf("resize: %d request(s) failed across the live resize", res.errors)
+	}
+	if rep.Resize.Added != 1 {
+		rep.Resize.Gate = "fail"
+		return fmt.Errorf("resize: admin reported %d added shard(s), want 1", rep.Resize.Added)
+	}
+	m, err := routerMetrics(front)
+	if err != nil {
+		return err
+	}
+	if m.Resizes != 1 {
+		rep.Resize.Gate = "fail"
+		return fmt.Errorf("resize: router counted %d resizes, want 1", m.Resizes)
+	}
+	newURL, _ := newShardURL.Load().(string)
+	for _, s := range m.Shards {
+		if s.URL == newURL {
+			rep.Resize.NewShardRouted = s.Routed
+		}
+	}
+	if rep.Resize.NewShardRouted == 0 {
+		rep.Resize.Gate = "fail"
+		return fmt.Errorf("resize: the added shard took no traffic after joining the live ring")
+	}
+	rep.Resize.Gate = "pass"
+	fmt.Printf("resize gate pass: %d requests, 0 errors across a live 2->3 resize; new shard routed %d\n",
+		rep.Resize.Requests, rep.Resize.NewShardRouted)
+	return nil
+}
+
 // loopResult aggregates one closed-loop phase. partial counts answered
 // requests below full quality (deadline or brownout-degraded): terminal
 // outcomes, but not goodput and not errors.
@@ -538,6 +828,12 @@ func (f *fleet) startShard(extra ...string) (string, *exec.Cmd, error) {
 	if err != nil {
 		return "", nil, err
 	}
+	return f.startShardAt(addr, extra...)
+}
+
+// startShardAt launches one hslbserver on a pre-allocated address — the
+// replication phase needs every member's URL before any member starts.
+func (f *fleet) startShardAt(addr string, extra ...string) (string, *exec.Cmd, error) {
 	args := append([]string{"-addr", addr, "-solve-timeout", "10s"}, extra...)
 	cmd := exec.Command(f.serverBin, args...)
 	if f.keepLogs {

@@ -1,16 +1,23 @@
 // Command hslbrouter runs the solve-fleet front tier: it consistent-hashes
 // each request's canonical model digest onto a ring of hslbserver shards,
 // so identical models always reach the shard that has them cached, spills
-// hot digests by bounded-load placement, health-checks shards via /ready,
+// hot digests by bounded-load placement, health-checks shards via /ready
+// (with flap damping: -health-fails consecutive misses before demotion),
 // and fails over in deterministic rendezvous order when a shard dies.
 // Shard responses — including 429/503 Retry-After hints — relay verbatim.
 //
 // Usage:
 //
 //	hslbrouter -addr :8070 -shards http://shard0:8080,http://shard1:8080
+//	hslbrouter -addr :8070 -shard-file fleet.shards
 //
 //	curl -s -X POST localhost:8070/solve -d '{"model":"var x >= 0 <= 9; maximize o: x;"}'
 //	curl -s localhost:8070/metrics
+//
+// Ring membership is live: POST /admin/shards replaces the shard set on a
+// running router, and with -shard-file a SIGHUP re-reads the file and
+// applies it the same way (one shard per line, "URL" or "ID URL",
+// #-comments allowed). Removed shards finish their in-flight requests.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener closes and
 // in-flight proxied requests drain (bounded by -drain-timeout).
@@ -31,14 +38,25 @@ import (
 	"hslb/internal/router"
 )
 
+// loadShardFile reads and parses a -shard-file into ShardSpecs.
+func loadShardFile(path string) ([]router.ShardSpec, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return router.ParseShardList(string(text))
+}
+
 func main() {
 	addr := flag.String("addr", ":8070", "listen address")
-	shards := flag.String("shards", "", "comma-separated hslbserver base URLs forming the ring (required)")
+	shards := flag.String("shards", "", "comma-separated hslbserver base URLs forming the ring")
+	shardFile := flag.String("shard-file", "", "file listing shards (one per line, \"URL\" or \"ID URL\"); SIGHUP re-reads it and resizes the live ring")
 	loadFactor := flag.Float64("load-factor", router.DefaultLoadFactor, "bounded-load headroom c > 1: a shard above c × its fair share of in-flight requests is demoted to last resort")
-	healthInterval := flag.Duration("health-interval", 250*time.Millisecond, "/ready probe cadence")
+	healthInterval := flag.Duration("health-interval", 250*time.Millisecond, "/ready probe cadence (jittered ±25%)")
 	healthTimeout := flag.Duration("health-timeout", time.Second, "per-probe timeout")
+	healthFails := flag.Int("health-fails", 0, "consecutive failed probes before a shard is demoted (0 = default 3)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
-	verbose := flag.Bool("v", false, "log health transitions and failovers")
+	verbose := flag.Bool("v", false, "log health transitions, failovers, and resizes")
 	flag.Parse()
 
 	var urls []string
@@ -47,15 +65,30 @@ func main() {
 			urls = append(urls, u)
 		}
 	}
+	var fileSpecs []router.ShardSpec
+	if *shardFile != "" {
+		if len(urls) > 0 {
+			log.Fatal("hslbrouter: -shards and -shard-file are mutually exclusive")
+		}
+		specs, err := loadShardFile(*shardFile)
+		if err != nil {
+			log.Fatalf("hslbrouter: -shard-file: %v", err)
+		}
+		fileSpecs = specs
+		for _, sp := range specs {
+			urls = append(urls, sp.URL)
+		}
+	}
 	if len(urls) == 0 {
-		log.Fatal("hslbrouter: -shards is required (comma-separated base URLs)")
+		log.Fatal("hslbrouter: -shards or -shard-file is required")
 	}
 
 	cfg := router.Config{
-		Shards:         urls,
-		LoadFactor:     *loadFactor,
-		HealthInterval: *healthInterval,
-		HealthTimeout:  *healthTimeout,
+		Shards:              urls,
+		LoadFactor:          *loadFactor,
+		HealthInterval:      *healthInterval,
+		HealthTimeout:       *healthTimeout,
+		HealthFailThreshold: *healthFails,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -63,6 +96,13 @@ func main() {
 	rt, err := router.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(fileSpecs) > 0 {
+		// Re-apply the file's specs so explicit IDs ("ID URL" lines) take
+		// effect; Config.Shards carries only URLs.
+		if _, err := rt.SetShards(fileSpecs); err != nil {
+			log.Fatalf("hslbrouter: applying -shard-file: %v", err)
+		}
 	}
 
 	httpSrv := &http.Server{
@@ -73,6 +113,29 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("hslbrouter listening on %s, routing %d shard(s)\n", *addr, len(urls))
+
+	// SIGHUP: re-read -shard-file and resize the live ring. A bad file or
+	// rejected shard set leaves the current ring untouched.
+	if *shardFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				specs, err := loadShardFile(*shardFile)
+				if err != nil {
+					log.Printf("SIGHUP: %v (ring unchanged)", err)
+					continue
+				}
+				res, err := rt.SetShards(specs)
+				if err != nil {
+					log.Printf("SIGHUP: %v (ring unchanged)", err)
+					continue
+				}
+				log.Printf("SIGHUP: ring reloaded from %s: added %v removed %v kept %d",
+					*shardFile, res.Added, res.Removed, len(res.Kept))
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -72,6 +72,10 @@ func main() {
 	storeHistory := flag.Int("store-history", 0, "commits of history retained per store key by GC (0 = unbounded)")
 	peers := flag.String("peers", "", "comma-separated ring-sibling base URLs (own URL excluded) consulted for persisted results on solve-cache misses")
 	peerBudget := flag.Duration("peer-budget", 150*time.Millisecond, "total budget for one solve's peer consult across all -peers")
+	selfURL := flag.String("self-url", "", "this shard's own base URL as the fleet addresses it (required with -replicate > 1)")
+	replicate := flag.Int("replicate", 0, "replication factor R: push every full-quality result to the top R owners of its key's rendezvous order over -self-url + -peers (0/1 = off; requires -self-url and -cache-persist)")
+	antiEntropy := flag.Duration("anti-entropy", 0, "anti-entropy repair sweep cadence (0 = 60s default, <0 = membership-kicked sweeps only)")
+	verbose := flag.Bool("v", false, "log replication, anti-entropy and peer-consult activity")
 	flag.Parse()
 
 	var peerURLs []string
@@ -81,25 +85,28 @@ func main() {
 		}
 	}
 
-	srv, err := neos.NewServerWith(neos.Config{
-		MaxConcurrent:    *concurrency,
-		CacheSize:        *cacheSize,
-		DataDir:          *dataDir,
-		SyncWAL:          *syncWAL,
-		JobTimeout:       *jobTimeout,
-		MaxAttempts:      *maxAttempts,
-		JobTTL:           *jobTTL,
-		SolveTimeout:     *solveTimeout,
-		SolveWorkers:     *solveWorkers,
-		SolveMode:        *solveMode,
-		MaxPendingJobs:   *maxPendingJobs,
-		LeaseTTL:         *leaseTTL,
-		AsyncWorkers:     *asyncWorkers,
-		StoreDir:         *storeDir,
-		CachePersist:     *cachePersist,
-		StoreKeepHistory: *storeHistory,
-		Peers:            peerURLs,
-		PeerBudget:       *peerBudget,
+	cfg := neos.Config{
+		MaxConcurrent:       *concurrency,
+		CacheSize:           *cacheSize,
+		DataDir:             *dataDir,
+		SyncWAL:             *syncWAL,
+		JobTimeout:          *jobTimeout,
+		MaxAttempts:         *maxAttempts,
+		JobTTL:              *jobTTL,
+		SolveTimeout:        *solveTimeout,
+		SolveWorkers:        *solveWorkers,
+		SolveMode:           *solveMode,
+		MaxPendingJobs:      *maxPendingJobs,
+		LeaseTTL:            *leaseTTL,
+		AsyncWorkers:        *asyncWorkers,
+		StoreDir:            *storeDir,
+		CachePersist:        *cachePersist,
+		StoreKeepHistory:    *storeHistory,
+		Peers:               peerURLs,
+		PeerBudget:          *peerBudget,
+		SelfURL:             *selfURL,
+		Replicate:           *replicate,
+		AntiEntropyInterval: *antiEntropy,
 		Overload: neos.OverloadConfig{
 			Enabled:          *overloadOn,
 			MaxQueue:         *maxQueue,
@@ -108,7 +115,11 @@ func main() {
 			BreakerProbe:     *breakerProbe,
 			DegradedTimeout:  *degradedTimeout,
 		},
-	})
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv, err := neos.NewServerWith(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,214 @@
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// requireLoopback skips (with the reason recorded in the test log, for the
+// chaos-fleet target) on hosts that cannot bind loopback sockets — the one
+// environment where the fault-injection scenarios cannot run at all.
+func requireLoopback(t *testing.T) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("chaos-fleet scenario skipped: host cannot bind loopback sockets: %v", err)
+	}
+	ln.Close()
+}
+
+// backend starts a real HTTP server and a proxy in front of it.
+func backend(t *testing.T, h http.HandlerFunc) (*Proxy, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	p, err := Listen(strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p, srv
+}
+
+func get(t *testing.T, client *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// TestProxyTransparentRelay: with no fault scripted the proxy is invisible.
+func TestProxyTransparentRelay(t *testing.T) {
+	requireLoopback(t)
+	p, _ := backend(t, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "hello")
+	})
+	body, err := get(t, http.DefaultClient, p.URL())
+	if err != nil || body != "hello" {
+		t.Fatalf("through idle proxy: %q, %v", body, err)
+	}
+	if accepted, toClient, toTarget := p.Stats(); accepted == 0 || toClient == 0 || toTarget == 0 {
+		t.Fatalf("stats not counted: accepted=%d toClient=%d toTarget=%d", accepted, toClient, toTarget)
+	}
+}
+
+// TestProxyLatency: scripted latency is observed end to end and 0 restores
+// full speed.
+func TestProxyLatency(t *testing.T) {
+	requireLoopback(t)
+	p, _ := backend(t, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	const d = 80 * time.Millisecond
+	p.SetLatency(d)
+	start := time.Now()
+	if _, err := get(t, http.DefaultClient, p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	// Request and response each cross the proxy at least once.
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("latency fault not applied: round trip took %v, scripted %v per write", elapsed, d)
+	}
+	p.SetLatency(0)
+	start = time.Now()
+	if _, err := get(t, http.DefaultClient, p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > d {
+		t.Fatalf("latency not restored: round trip took %v after SetLatency(0)", elapsed)
+	}
+}
+
+// TestProxyPartitionStallsThenHeals: a partitioned proxy answers nothing —
+// clients time out rather than seeing an error — and after healing the same
+// proxy serves normally. This silence (vs connection-refused) is what
+// exposes missing timeouts in the code under test.
+func TestProxyPartitionStallsThenHeals(t *testing.T) {
+	requireLoopback(t)
+	p, _ := backend(t, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	p.SetPartitioned(true)
+	client := &http.Client{Timeout: 150 * time.Millisecond}
+	start := time.Now()
+	_, err := get(t, client, p.URL())
+	if err == nil {
+		t.Fatal("request through a partitioned proxy succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("partition failed fast (%v): want silence until the client's own timeout", elapsed)
+	}
+	p.SetPartitioned(false)
+	body, err := get(t, &http.Client{Timeout: 5 * time.Second}, p.URL())
+	if err != nil || body != "ok" {
+		t.Fatalf("after heal: %q, %v", body, err)
+	}
+}
+
+// TestProxyRefuseFailsFast: refuse mode closes new connections immediately
+// — the crashed-process failure, distinct from the partition's silence.
+func TestProxyRefuseFailsFast(t *testing.T) {
+	requireLoopback(t)
+	p, _ := backend(t, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	p.SetRefuse(true)
+	start := time.Now()
+	if _, err := get(t, &http.Client{Timeout: 5 * time.Second}, p.URL()); err == nil {
+		t.Fatal("request through a refusing proxy succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("refuse took %v; want a fast failure", elapsed)
+	}
+	p.SetRefuse(false)
+	if body, err := get(t, http.DefaultClient, p.URL()); err != nil || body != "ok" {
+		t.Fatalf("after SetRefuse(false): %q, %v", body, err)
+	}
+}
+
+// TestProxyCutMidStream: the connection dies after the scripted byte budget
+// toward the client, so a large response arrives truncated — the client
+// must see an error, never a silently short "success".
+func TestProxyCutMidStream(t *testing.T) {
+	requireLoopback(t)
+	payload := strings.Repeat("x", 256*1024)
+	p, _ := backend(t, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, payload)
+	})
+	p.SetCutAfter(4096)
+	resp, err := http.Get(p.URL())
+	if err == nil {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(body) >= len(payload) {
+			t.Fatalf("full %d-byte response arrived through a cut proxy", len(body))
+		}
+		if len(body) > 8192 {
+			t.Fatalf("cut let %d bytes through, budget was 4096 (+ headers)", len(body))
+		}
+	}
+	p.SetCutAfter(0)
+	if body, err := get(t, http.DefaultClient, p.URL()); err != nil || len(body) != len(payload) {
+		t.Fatalf("after disarming the cut: %d bytes, %v", len(body), err)
+	}
+}
+
+// TestProxyCloseAllKillsInFlight: CloseAll tears down live relays (the
+// SIGKILL analog for connections) while the listener keeps serving new ones.
+func TestProxyCloseAllKillsInFlight(t *testing.T) {
+	requireLoopback(t)
+	release := make(chan struct{})
+	p, _ := backend(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/slow" {
+			w.WriteHeader(http.StatusOK)
+			w.(http.Flusher).Flush()
+			<-release
+		}
+		fmt.Fprint(w, "done")
+	})
+	defer close(release)
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(p.URL() + "/slow")
+		if err == nil {
+			_, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	// Wait for the slow request to be provably in flight, then cut it down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if a, _, _ := p.Stats(); a > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never reached the proxy")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let the response headers cross
+	p.CloseAll()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("in-flight request survived CloseAll")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request hung after CloseAll")
+	}
+	if body, err := get(t, http.DefaultClient, p.URL()+"/fast"); err != nil || body != "done" {
+		t.Fatalf("new connection after CloseAll: %q, %v", body, err)
+	}
+}

@@ -53,6 +53,9 @@ type Metrics struct {
 	// Peer describes cache peering (sibling consults on cache misses);
 	// nil/omitted without Config.Peers.
 	Peer *PeerMetrics `json:"peer,omitempty"`
+	// Replication describes R-way result replication and anti-entropy
+	// repair; nil/omitted unless Config.Replicate > 1.
+	Replication *ReplicationMetrics `json:"replication,omitempty"`
 }
 
 // SolveStats summarizes solver invocations (cache hits never reach the

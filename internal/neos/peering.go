@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -31,6 +32,9 @@ import (
 // degraded quality) all fall through to the local solver. Peering runs
 // inside the solve singleflight, so a thundering herd on one digest costs
 // one consult, not one per request.
+//
+// The peer set is mutable: POST /admin/peers (and the replication layer's
+// membership plumbing) swap it on a live server via setPeers.
 
 // defaultPeerBudget bounds one solve's whole peer consult when
 // Config.PeerBudget is unset. Peer fetches are two small local-network
@@ -39,20 +43,26 @@ const defaultPeerBudget = 150 * time.Millisecond
 
 // peering is the sibling-consult state hung off a Server.
 type peering struct {
+	mu     sync.RWMutex
 	peers  []string
 	budget time.Duration
 	http   *http.Client
+	logf   func(format string, args ...interface{})
 
 	hits   atomic.Uint64 // cache fills served by a sibling
 	misses atomic.Uint64 // consults where no sibling had the key
 	errs   atomic.Uint64 // peer responses rejected (transport, corrupt, junk)
+	// budgetExhausted counts consults the shared PeerBudget cut short
+	// before every sibling was asked — the signature of a partitioned or
+	// slow peer eating the walk, distinct from errors and clean misses.
+	budgetExhausted atomic.Uint64
 }
 
-// newPeering builds the consult state, or nil when cfg names no peers.
-func newPeering(cfg Config) *peering {
+// normalizePeers trims, deduplicates and canonicalizes a peer URL list.
+func normalizePeers(urls []string) []string {
 	var peers []string
 	seen := map[string]bool{}
-	for _, u := range cfg.Peers {
+	for _, u := range urls {
 		u = strings.TrimRight(strings.TrimSpace(u), "/")
 		if u == "" || seen[u] {
 			continue
@@ -60,20 +70,71 @@ func newPeering(cfg Config) *peering {
 		seen[u] = true
 		peers = append(peers, u)
 	}
-	if len(peers) == 0 {
-		return nil
-	}
+	return peers
+}
+
+// newPeering builds the consult state. The peer set may be empty (and grown
+// later through setPeers); with no peers the consult is skipped entirely.
+func newPeering(cfg Config, logf func(format string, args ...interface{})) *peering {
 	budget := cfg.PeerBudget
 	if budget <= 0 {
 		budget = defaultPeerBudget
 	}
 	return &peering{
-		peers:  peers,
+		peers:  normalizePeers(cfg.Peers),
 		budget: budget,
+		logf:   logf,
 		// A dedicated client: the consult must never inherit a proxied
 		// default transport's cookie jar or an unbounded timeout.
 		http: &http.Client{Timeout: budget},
 	}
+}
+
+// peerList snapshots the current peer set.
+func (p *peering) peerList() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]string(nil), p.peers...)
+}
+
+// setPeers replaces the peer set on a live server.
+func (p *peering) setPeers(urls []string) {
+	peers := normalizePeers(urls)
+	p.mu.Lock()
+	p.peers = peers
+	p.mu.Unlock()
+}
+
+// rendezvousOrder sorts members into key's deterministic preference order:
+// descending first-8-bytes-of-SHA-256(member || 0x00 || key), member string
+// as the (practically unreachable) tie-break. This is byte-identical to the
+// router's shard placement, so when members are the fleet's shard base URLs
+// a key's replica owners are exactly the router's failover order.
+func rendezvousOrder(members []string, key string) []string {
+	type ranked struct {
+		member string
+		score  uint64
+	}
+	rs := make([]ranked, len(members))
+	for i, m := range members {
+		h := sha256.New()
+		io.WriteString(h, m)
+		h.Write([]byte{0})
+		io.WriteString(h, key)
+		var sum [sha256.Size]byte
+		rs[i] = ranked{m, binary.BigEndian.Uint64(h.Sum(sum[:0]))}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score > rs[j].score
+		}
+		return rs[i].member < rs[j].member
+	})
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.member
+	}
+	return out
 }
 
 // order returns the peers in the key's rendezvous order — the same
@@ -81,30 +142,7 @@ func newPeering(cfg Config) *peering {
 // for one digest walks its siblings in the same sequence and the digest's
 // likeliest holders are asked first.
 func (p *peering) order(key string) []string {
-	type ranked struct {
-		peer  string
-		score uint64
-	}
-	rs := make([]ranked, len(p.peers))
-	for i, peer := range p.peers {
-		h := sha256.New()
-		io.WriteString(h, peer)
-		h.Write([]byte{0})
-		io.WriteString(h, key)
-		var sum [sha256.Size]byte
-		rs[i] = ranked{peer, binary.BigEndian.Uint64(h.Sum(sum[:0]))}
-	}
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].score != rs[j].score {
-			return rs[i].score > rs[j].score
-		}
-		return rs[i].peer < rs[j].peer
-	})
-	out := make([]string, len(rs))
-	for i, r := range rs {
-		out[i] = r.peer
-	}
-	return out
+	return rendezvousOrder(p.peerList(), key)
 }
 
 // fetch asks the siblings for the key's persisted result, returning the
@@ -116,28 +154,53 @@ func (p *peering) fetch(ctx context.Context, key string) *SolveResponse {
 	defer cancel()
 	for _, peer := range p.order(key) {
 		if ctx.Err() != nil {
-			break
+			// The budget died before this sibling was even asked.
+			p.budgetExhausted.Add(1)
+			p.misses.Add(1)
+			if p.logf != nil {
+				p.logf("peer consult for %.12s…: budget %v exhausted before asking %s", key, p.budget, peer)
+			}
+			return nil
 		}
-		resp, ok := p.fetchFrom(ctx, peer, key)
+		resp, ok := fetchPersisted(ctx, p.http, peer, key)
 		if resp != nil {
 			p.hits.Add(1)
+			if p.logf != nil {
+				p.logf("peer consult for %.12s…: warmed from %s", key, peer)
+			}
 			return resp
 		}
 		if !ok {
+			if ctx.Err() != nil {
+				// The failure is the budget firing mid-fetch, not the peer
+				// misbehaving: count exhaustion, not a peer error.
+				p.budgetExhausted.Add(1)
+				p.misses.Add(1)
+				if p.logf != nil {
+					p.logf("peer consult for %.12s…: budget %v exhausted talking to %s", key, p.budget, peer)
+				}
+				return nil
+			}
 			p.errs.Add(1)
+			if p.logf != nil {
+				p.logf("peer consult for %.12s…: rejected response from %s", key, peer)
+			}
 		}
 	}
 	p.misses.Add(1)
 	return nil
 }
 
-// fetchFrom asks one peer. It returns (response, true) on a usable hit,
-// (nil, true) on a clean miss (the peer simply never solved the model),
-// and (nil, false) when the peer misbehaved — transport failure, corrupt
-// blob, undecodable or best-effort payload.
-func (p *peering) fetchFrom(ctx context.Context, peer, key string) (*SolveResponse, bool) {
+// fetchPersisted asks one fleet member for its persisted result of key:
+// GET /history/solve/{key}?limit=1 names the newest commit, GET /blob/{hash}
+// fetches the bytes. It returns (response, true) on a usable full-quality
+// hit, (nil, true) on a clean miss (the member simply never solved it), and
+// (nil, false) when the member misbehaved — transport failure, corrupt blob,
+// undecodable or best-effort payload. Shared by the miss-path peer consult
+// and the anti-entropy sweeper's pull side.
+func fetchPersisted(ctx context.Context, hc *http.Client, peer, key string) (*SolveResponse, bool) {
 	var history []HistoryEntry
-	status, err := p.getJSON(ctx, fmt.Sprintf("%s/history/%s%s?limit=1", peer, solveKeyPrefix, key), &history)
+	status, err := getJSON(ctx, hc, fmt.Sprintf("%s/history/%s%s?limit=1", peer, solveKeyPrefix, key), &history)
 	if err != nil {
 		return nil, status == http.StatusNotFound // 404: peer never solved it
 	}
@@ -148,7 +211,7 @@ func (p *peering) fetchFrom(ctx context.Context, peer, key string) (*SolveRespon
 	// A corrupt chunk surfaces here as the peer's 500 ("blob failed
 	// integrity verification") and is treated exactly like junk bytes:
 	// rejected, never warmed.
-	if _, err := p.getJSON(ctx, peer+"/blob/"+history[0].Value, &resp); err != nil {
+	if _, err := getJSON(ctx, hc, peer+"/blob/"+history[0].Value, &resp); err != nil {
 		return nil, false
 	}
 	if !peerWarmable(&resp) {
@@ -160,12 +223,12 @@ func (p *peering) fetchFrom(ctx context.Context, peer, key string) (*SolveRespon
 // getJSON GETs url and decodes the body into out, returning the HTTP
 // status (0 on transport failure) and an error for any non-200 or
 // undecodable response.
-func (p *peering) getJSON(ctx context.Context, url string, out interface{}) (int, error) {
+func getJSON(ctx context.Context, hc *http.Client, url string, out interface{}) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := p.http.Do(req)
+	resp, err := hc.Do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -186,7 +249,8 @@ func (p *peering) getJSON(ctx context.Context, url string, out interface{}) (int
 // peerWarmable applies the same bar cacheBackend.Save applies locally: only
 // certified full-quality answers may warm a cache. A peer is trusted for
 // bytes, not for judgement — re-validate here even though well-behaved
-// peers never persist best-effort results in the first place.
+// peers never persist best-effort results in the first place. Replication
+// ingest (POST /replicate/{key}) applies this same bar.
 func peerWarmable(resp *SolveResponse) bool {
 	switch resp.Status {
 	case "", "error", "deadline":
@@ -206,16 +270,28 @@ type PeerMetrics struct {
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 	Errors uint64 `json:"errors"`
+	// BudgetExhausted counts consults the shared PeerBudget cut short
+	// before every sibling answered — a partitioned or slow peer burning
+	// the walk. Such consults also count under Misses (they fell through
+	// to a local solve) but never under Errors.
+	BudgetExhausted uint64 `json:"budget_exhausted"`
 }
 
 func (s *Server) peerMetrics() *PeerMetrics {
-	if s.peering == nil {
+	p := s.peering
+	if p == nil {
 		return nil
 	}
-	return &PeerMetrics{
-		Peers:  len(s.peering.peers),
-		Hits:   s.peering.hits.Load(),
-		Misses: s.peering.misses.Load(),
-		Errors: s.peering.errs.Load(),
+	m := &PeerMetrics{
+		Peers:           len(p.peerList()),
+		Hits:            p.hits.Load(),
+		Misses:          p.misses.Load(),
+		Errors:          p.errs.Load(),
+		BudgetExhausted: p.budgetExhausted.Load(),
 	}
+	if m.Peers == 0 && m.Hits == 0 && m.Misses == 0 && m.Errors == 0 && m.BudgetExhausted == 0 {
+		// A never-peered server keeps its /metrics document unchanged.
+		return nil
+	}
+	return m
 }

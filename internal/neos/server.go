@@ -105,6 +105,25 @@ type Config struct {
 	// PeerBudget bounds one solve's whole peer consult, across all peers
 	// (default 150ms). Past it the server stops asking and solves locally.
 	PeerBudget time.Duration
+	// SelfURL is this shard's own base URL as the fleet addresses it.
+	// Required when Replicate > 1: replica ownership is computed over
+	// SelfURL+Peers with the router's rendezvous rule, so the strings must
+	// match the router's shard IDs.
+	SelfURL string
+	// Replicate is the replication factor R: every full-quality result is
+	// pushed to the top R members of its key's rendezvous order over
+	// SelfURL+Peers (best-effort, with a bounded retry queue; anti-entropy
+	// repairs the rest). 0 or 1 disables replication. R > 1 requires
+	// SelfURL and CachePersist.
+	Replicate int
+	// AntiEntropyInterval is the background repair sweep cadence
+	// (default 60s; < 0 disables the ticker, leaving only membership-kicked
+	// sweeps). Each sweep re-derives every local key's owners and pushes or
+	// pulls until the replica sets converge.
+	AntiEntropyInterval time.Duration
+	// Logf receives replication, anti-entropy and peer-consult log lines;
+	// nil discards them.
+	Logf func(format string, args ...interface{})
 	// LeaseTTL is the default lease duration granted to pull workers on
 	// /work/lease (default 30s). A worker may request its own TTL, clamped
 	// to [1s, 10×LeaseTTL]. It is also the floor of the lease in-process
@@ -197,8 +216,11 @@ type Server struct {
 	results *resultstore.Store
 	warmed  int
 	// peering consults ring siblings for persisted results on cache
-	// misses; nil without Config.Peers.
+	// misses; always non-nil (the peer set may be empty, and may change
+	// live via /admin/peers).
 	peering *peering
+	// repl is the R-way replication state; nil unless Config.Replicate > 1.
+	repl *replicator
 	// solveFn executes one request on the async path; solveCached unless a
 	// test injected a fault hook via Config.
 	solveFn func(ctx context.Context, req *SolveRequest) *SolveResponse
@@ -236,6 +258,14 @@ func NewServerWith(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("neos: unknown SolveMode %q (want %q or %q)",
 			cfg.SolveMode, SolveModeDeterministic, SolveModeRace)
 	}
+	if cfg.Replicate > 1 {
+		if strings.TrimSpace(cfg.SelfURL) == "" {
+			return nil, errors.New("neos: Replicate > 1 requires SelfURL (replica ownership is computed over SelfURL+Peers)")
+		}
+		if !cfg.CachePersist {
+			return nil, errors.New("neos: Replicate > 1 requires CachePersist (replicas are persisted results)")
+		}
+	}
 	store, err := jobstore.Open(cfg.DataDir, jobstore.Options{
 		Sync:       cfg.SyncWAL,
 		MaxPending: cfg.MaxPendingJobs,
@@ -261,7 +291,13 @@ func NewServerWith(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.warmed = warmed
-	s.peering = newPeering(cfg)
+	s.peering = newPeering(cfg, cfg.Logf)
+	if cfg.Replicate > 1 {
+		s.repl = newReplicator(cfg)
+		s.wg.Add(2)
+		go s.pusher()
+		go s.sweeper()
+	}
 	s.solveFn = s.solveCached
 	if cfg.solveHook != nil {
 		s.solveFn = cfg.solveHook
@@ -282,6 +318,13 @@ func NewServerWith(cfg Config) (*Server, error) {
 // Recovered returns how many in-flight jobs were re-queued from the WAL
 // at startup.
 func (s *Server) Recovered() int { return s.store.Recovered() }
+
+// logf writes to Config.Logf when set.
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
 
 // BeginDrain flips the readiness probe to 503 so load balancers stop
 // routing here, without touching in-flight work. Call it before shutting
@@ -322,6 +365,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /blob/{hash}", s.handleBlob)
 	mux.HandleFunc("GET /history/{key...}", s.handleHistory)
+	mux.HandleFunc("GET /keys", s.handleKeys)
+	mux.HandleFunc("POST /replicate/{key}", s.handleReplicate)
+	mux.HandleFunc("/admin/peers", s.handleAdminPeers)
 	mux.HandleFunc("POST /work/lease", s.handleWorkLease)
 	mux.HandleFunc("POST /work/renew", s.handleWorkRenew)
 	mux.HandleFunc("POST /work/complete", s.handleWorkComplete)
@@ -384,8 +430,10 @@ func (s *Server) solveFlight(ctx context.Context, key string, parsed *ampl.Resul
 		// bounded-load spill). The consult runs inside the singleflight —
 		// one consult per herd — and before the solver semaphore, so it
 		// never occupies a solve slot. A warm fill writes through the
-		// cache backend, persisting the result locally too.
-		if s.peering != nil {
+		// cache backend, persisting the result locally too — but never
+		// replicates onward: only fresh solver fills push, so replicas
+		// cannot circulate.
+		if len(s.peering.peerList()) > 0 {
 			if resp := s.peering.fetch(ctx, key); resp != nil {
 				s.cache.Put(key, resp)
 				return resp, nil
@@ -413,6 +461,7 @@ func (s *Server) solveFlight(ctx context.Context, key string, parsed *ampl.Resul
 		// because it depends on wall-clock budget rather than the model.
 		if resp.Status != "error" && resp.Status != "deadline" {
 			s.cache.Put(key, resp)
+			s.replicateFill(key, resp)
 		}
 		return resp, nil
 	})
@@ -636,6 +685,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Overload = s.overloadMetrics()
 	m.Store = s.storeMetrics()
 	m.Peer = s.peerMetrics()
+	m.Replication = s.replicationMetrics()
 	writeJSON(w, http.StatusOK, m)
 }
 

@@ -311,4 +311,7 @@ func (s *Server) warmFromJob(id int64, resp *SolveResponse) {
 		return
 	}
 	s.cache.Put(key, resp)
+	// A remote worker's answer is a fresh solver fill: replicate it to the
+	// key's other owners just like a local solve.
+	s.replicateFill(key, resp)
 }

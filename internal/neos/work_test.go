@@ -120,9 +120,13 @@ func TestWorkLeaseValidation(t *testing.T) {
 	}
 
 	// A draining server stops granting leases with 503 + Retry-After, but
-	// still accepts the in-flight complete.
+	// still accepts the in-flight complete. A single-attempt client: the
+	// retryable 503 must surface now, not after a Retry-After backoff dance
+	// that would eat the held lease's TTL.
 	s.BeginDrain()
-	_, _, err = c.LeaseWork(ctx, "node-a", 0)
+	oneShot := NewClient(hs.URL)
+	oneShot.Retry = RetryPolicy{MaxAttempts: 1}
+	_, _, err = oneShot.LeaseWork(ctx, "node-a", 0)
 	var se *ServerError
 	if !errors.As(err, &se) || se.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("lease while draining = %v", err)

@@ -1,0 +1,177 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Live ring membership. A running router's shard set is replaced — never
+// patched — through Router.SetShards, driven by the POST /admin/shards
+// endpoint or a SIGHUP-triggered reload of a shard-list file
+// (cmd/hslbrouter -shard-file). Replacement is graceful by construction:
+// placement snapshots the ring per request, so a removed shard stops
+// receiving new digests the moment SetShards returns while requests
+// already proxying to it run to completion on their own shard handle; a
+// kept shard's health and in-flight state carry over verbatim; and added
+// shards are probed synchronously before SetShards returns, so a live
+// resize leaves no window in which a healthy new shard is unroutable.
+
+// ShardSpec names one shard for SetShards: a base URL plus an optional
+// stable ID (defaults to the URL; giving a replacement host the old ID
+// keeps its key range). In JSON it decodes from either a bare URL string
+// or {"id": ..., "url": ...}.
+type ShardSpec struct {
+	ID  string `json:"id,omitempty"`
+	URL string `json:"url"`
+}
+
+// UnmarshalJSON accepts "http://host:port" or {"id":...,"url":...}.
+func (sp *ShardSpec) UnmarshalJSON(data []byte) error {
+	var url string
+	if err := json.Unmarshal(data, &url); err == nil {
+		sp.ID, sp.URL = "", url
+		return nil
+	}
+	type plain ShardSpec
+	return json.Unmarshal(data, (*plain)(sp))
+}
+
+func (sp ShardSpec) normalize() (ShardSpec, error) {
+	sp.URL = strings.TrimRight(strings.TrimSpace(sp.URL), "/")
+	if sp.URL == "" {
+		return sp, fmt.Errorf("router: shard with empty URL")
+	}
+	if sp.ID == "" {
+		sp.ID = sp.URL
+	}
+	return sp, nil
+}
+
+// ParseShardList parses a shard-list file: one shard per line, either
+// "URL" or "ID URL", with blank lines and #-comments ignored.
+func ParseShardList(text string) ([]ShardSpec, error) {
+	var specs []ShardSpec
+	for i, line := range strings.Split(text, "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		fields := strings.Fields(line)
+		switch len(fields) {
+		case 0:
+		case 1:
+			specs = append(specs, ShardSpec{URL: fields[0]})
+		case 2:
+			specs = append(specs, ShardSpec{ID: fields[0], URL: fields[1]})
+		default:
+			return nil, fmt.Errorf("router: shard list line %d: want \"URL\" or \"ID URL\", got %q", i+1, line)
+		}
+	}
+	return specs, nil
+}
+
+// ResizeResult summarizes one SetShards call.
+type ResizeResult struct {
+	// Added shards entered the ring fresh (probed synchronously before the
+	// call returned); Removed left it (in-flight requests to them finish);
+	// Kept were present before and after with health and in-flight state
+	// preserved.
+	Added   []string `json:"added"`
+	Removed []string `json:"removed"`
+	Kept    []string `json:"kept"`
+}
+
+// SetShards replaces the ring's shard set on a live router. Shards present
+// in both sets keep their struct — health, in-flight count, and therefore
+// their key range — verbatim; new shards are probed synchronously so a
+// ready shard is routable the moment this returns; removed shards simply
+// stop being placed, and requests already in flight against them complete
+// on their captured shard handle.
+func (rt *Router) SetShards(specs []ShardSpec) (*ResizeResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("router: at least one shard required")
+	}
+	current := map[string]*Shard{}
+	for _, s := range rt.ring.Shards() {
+		current[s.ID] = s
+	}
+	next := make([]*Shard, 0, len(specs))
+	seen := map[string]bool{}
+	res := &ResizeResult{Added: []string{}, Removed: []string{}, Kept: []string{}}
+	var fresh []*Shard
+	for _, sp := range specs {
+		sp, err := sp.normalize()
+		if err != nil {
+			return nil, err
+		}
+		if seen[sp.ID] {
+			return nil, fmt.Errorf("router: duplicate shard ID %q", sp.ID)
+		}
+		seen[sp.ID] = true
+		if s, ok := current[sp.ID]; ok && s.URL == sp.URL {
+			next = append(next, s)
+			res.Kept = append(res.Kept, sp.ID)
+			continue
+		}
+		// New shard — or a kept ID whose URL moved to a new host, which
+		// keeps the key range but must re-prove health at the new address.
+		s := &Shard{ID: sp.ID, URL: sp.URL}
+		next = append(next, s)
+		fresh = append(fresh, s)
+		res.Added = append(res.Added, sp.ID)
+	}
+	for id := range current {
+		if !seen[id] {
+			res.Removed = append(res.Removed, id)
+		}
+	}
+	// Probe the fresh shards before they enter the ring: a ready shard is
+	// routable immediately, a dead one starts (and stays) unrouted without
+	// a window in which requests are placed on it.
+	for _, s := range fresh {
+		s.healthy.Store(rt.probe(s))
+	}
+	rt.ring.SetShards(next)
+	rt.logf("ring resized: %d added %v, %d removed %v, %d kept",
+		len(res.Added), res.Added, len(res.Removed), res.Removed, len(res.Kept))
+	return res, nil
+}
+
+// handleAdminShards is the membership admin surface:
+//
+//	GET  /admin/shards  — current ring (id, url, health, inflight, routed)
+//	POST /admin/shards  — replace the shard set: {"shards": [spec, ...]}
+//	                      where each spec is a URL string or {"id","url"}
+func (rt *Router) handleAdminShards(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		var out []ShardMetrics
+		for _, s := range rt.ring.Shards() {
+			out = append(out, ShardMetrics{
+				ID: s.ID, URL: s.URL, Healthy: s.Healthy(),
+				Inflight: s.Inflight(), Routed: rt.shardCounter(s.ID).Load(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{"shards": out})
+	case http.MethodPost:
+		var req struct {
+			Shards []ShardSpec `json:"shards"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := rt.SetShards(req.Shards)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		rt.resizes.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(res)
+	default:
+		http.Error(w, "GET or POST required", http.StatusMethodNotAllowed)
+	}
+}

@@ -1,0 +1,392 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseShardList(t *testing.T) {
+	specs, err := ParseShardList(`
+# fleet ring
+http://a:8080
+slot-b http://b:8080   # replacement host keeps slot-b's key range
+
+http://c:8080
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ShardSpec{
+		{URL: "http://a:8080"},
+		{ID: "slot-b", URL: "http://b:8080"},
+		{URL: "http://c:8080"},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("parsed %d specs, want %d: %+v", len(specs), len(want), specs)
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Fatalf("spec[%d] = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	if _, err := ParseShardList("http://a one two"); err == nil {
+		t.Fatal("three-field line parsed without error")
+	}
+}
+
+func TestShardSpecJSONForms(t *testing.T) {
+	var req struct {
+		Shards []ShardSpec `json:"shards"`
+	}
+	blob := `{"shards": ["http://a:1", {"id": "slot-b", "url": "http://b:2"}]}`
+	if err := json.Unmarshal([]byte(blob), &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Shards) != 2 || req.Shards[0].URL != "http://a:1" ||
+		req.Shards[1].ID != "slot-b" || req.Shards[1].URL != "http://b:2" {
+		t.Fatalf("decoded %+v", req.Shards)
+	}
+}
+
+// postAdminShards replaces the ring over the admin endpoint.
+func postAdminShards(t *testing.T, frontURL string, urls ...string) (*ResizeResult, int) {
+	t.Helper()
+	body, _ := json.Marshal(map[string][]string{"shards": urls})
+	resp, err := http.Post(frontURL+"/admin/shards", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var res ResizeResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		t.Fatalf("admin response %q: %v", payload, err)
+	}
+	return &res, resp.StatusCode
+}
+
+// TestRouterLiveResizeUnderTraffic drives real proxied traffic through the
+// router while POST /admin/shards grows the ring 2 -> 3: every request must
+// succeed (no failed requests during the resize), the new shard must start
+// taking traffic, and only ~1/(N+1) of a fixed digest corpus may change home.
+func TestRouterLiveResizeUnderTraffic(t *testing.T) {
+	mkShard := func(name string) *httptest.Server {
+		return stubShard(func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			fmt.Fprintf(w, `{"status":"optimal","served_by":%q}`, name)
+		})
+	}
+	s1, s2, s3 := mkShard("s1"), mkShard("s2"), mkShard("s3")
+	defer s1.Close()
+	defer s2.Close()
+	defer s3.Close()
+	rt, front := newTestRouter(t, s1.URL, s2.URL)
+
+	// Fixed digest corpus: snapshot each digest's home before the resize.
+	const corpus = 600
+	digestOf := func(i int) string {
+		return requestDigest([]byte(fmt.Sprintf(`{"model":"corpus %d"}`, i)))
+	}
+	before := make([]string, corpus)
+	for i := 0; i < corpus; i++ {
+		before[i] = rt.Ring().Order(digestOf(i))[0].ID
+	}
+
+	// Traffic: 4 clients posting distinct models; the resize lands while
+	// they run. Every response must be a 200 — a live resize must not fail
+	// requests in flight.
+	var failures atomic.Uint64
+	var posted atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := fmt.Sprintf(`{"model":"traffic client %d seq %d"}`, c, i)
+				resp, err := http.Post(front.URL+"/solve", "application/json", strings.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+				posted.Add(1)
+			}
+		}(c)
+	}
+	time.Sleep(50 * time.Millisecond) // traffic provably in flight
+
+	res, code := postAdminShards(t, front.URL, s1.URL, s2.URL, s3.URL)
+	if code != http.StatusOK {
+		t.Fatalf("admin resize status %d", code)
+	}
+	if len(res.Added) != 1 || len(res.Kept) != 2 || len(res.Removed) != 0 {
+		t.Fatalf("resize result %+v, want 1 added / 2 kept / 0 removed", res)
+	}
+
+	time.Sleep(100 * time.Millisecond) // traffic continues over the grown ring
+	close(stop)
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d of %d requests failed across the live resize", failures.Load(), posted.Load())
+	}
+	if posted.Load() == 0 {
+		t.Fatal("no traffic flowed during the resize window")
+	}
+
+	// Placement stability: only digests whose new home is the added shard
+	// may move, about 1/(N+1) of the corpus.
+	moved := 0
+	newShardID := strings.TrimRight(s3.URL, "/")
+	for i := 0; i < corpus; i++ {
+		now := rt.Ring().Order(digestOf(i))[0].ID
+		if now == before[i] {
+			continue
+		}
+		moved++
+		if now != newShardID {
+			t.Fatalf("digest %d moved %s -> %s; a grow may only move keys onto the new shard", i, before[i], now)
+		}
+	}
+	want := corpus / 3
+	if moved == 0 || moved > 2*want {
+		t.Fatalf("resize moved %d/%d digests; want ~%d (at most %d)", moved, corpus, want, 2*want)
+	}
+
+	// The new shard participates: route the corpus models and check its
+	// counter moved.
+	for i := 0; i < corpus/10; i++ {
+		body := fmt.Sprintf(`{"model":"corpus %d"}`, i)
+		resp, err := http.Post(front.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	m := routerMetrics(t, front.URL)
+	if m.Resizes != 1 {
+		t.Fatalf("resizes = %d, want 1", m.Resizes)
+	}
+	var newRouted uint64
+	for _, s := range m.Shards {
+		if s.ID == newShardID {
+			newRouted = s.Routed
+		}
+	}
+	if newRouted == 0 {
+		t.Fatalf("new shard took no traffic after the resize: %+v", m.Shards)
+	}
+}
+
+// TestRouterRemovedShardInflightCompletes: removing a shard is graceful —
+// a request already proxying to it completes on the captured shard handle
+// even though the ring no longer contains the shard.
+func TestRouterRemovedShardInflightCompletes(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	slow := stubShard(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		fmt.Fprint(w, `{"status":"optimal","served_by":"slow"}`)
+	})
+	defer slow.Close()
+	fast := stubShard(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"optimal","served_by":"fast"}`)
+	})
+	defer fast.Close()
+	rt, front := newTestRouter(t, slow.URL, fast.URL)
+
+	// Find a model homed on the slow shard.
+	slowID := strings.TrimRight(slow.URL, "/")
+	var body string
+	for i := 0; ; i++ {
+		body = fmt.Sprintf(`{"model":"pin %d"}`, i)
+		if rt.Ring().Order(requestDigest([]byte(body)))[0].ID == slowID {
+			break
+		}
+	}
+
+	type result struct {
+		code int
+		body string
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(front.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			done <- result{0, err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		payload, _ := io.ReadAll(resp.Body)
+		done <- result{resp.StatusCode, string(payload)}
+	}()
+	<-entered // the request is provably in flight on the slow shard
+
+	if res, code := postAdminShards(t, front.URL, fast.URL); code != http.StatusOK || len(res.Removed) != 1 {
+		t.Fatalf("removal resize: status %d, result %+v", code, res)
+	}
+	if got := rt.Ring().Shards(); len(got) != 1 || got[0].ID != strings.TrimRight(fast.URL, "/") {
+		t.Fatalf("ring after removal: %v", ids(rt.Ring().Shards()))
+	}
+
+	close(release)
+	select {
+	case r := <-done:
+		if r.code != http.StatusOK || !strings.Contains(r.body, `"slow"`) {
+			t.Fatalf("in-flight request on removed shard: code %d body %q", r.code, r.body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed after its shard was removed")
+	}
+
+	// New requests for the same digest go to the surviving shard.
+	resp, err := http.Post(front.URL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(payload), `"fast"`) {
+		t.Fatalf("post-removal request answered by %q, want the surviving shard", payload)
+	}
+}
+
+// TestAdminShardsRejectsBadSets: an empty or duplicate shard set must be
+// rejected without touching the live ring.
+func TestAdminShardsRejectsBadSets(t *testing.T) {
+	shard := stubShard(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"optimal"}`)
+	})
+	defer shard.Close()
+	rt, front := newTestRouter(t, shard.URL)
+
+	if _, code := postAdminShards(t, front.URL); code != http.StatusUnprocessableEntity {
+		t.Fatalf("empty shard set: status %d, want 422", code)
+	}
+	if _, code := postAdminShards(t, front.URL, shard.URL, shard.URL); code != http.StatusUnprocessableEntity {
+		t.Fatalf("duplicate shard set: status %d, want 422", code)
+	}
+	if got := rt.Ring().Shards(); len(got) != 1 {
+		t.Fatalf("rejected resize mutated the ring: %v", ids(got))
+	}
+}
+
+// TestRouterFlapDamping: one failed probe (a GC pause, a dropped packet)
+// must not demote a healthy shard; HealthFailThreshold consecutive
+// failures must; and a single good probe restores it immediately.
+func TestRouterFlapDamping(t *testing.T) {
+	var failReady atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ready", func(w http.ResponseWriter, r *http.Request) {
+		if failReady.Load() {
+			http.Error(w, "flap", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	shard := httptest.NewServer(mux)
+	defer shard.Close()
+	rt, _ := newTestRouter(t, shard.URL) // threshold defaults to 3
+	s := rt.Ring().Shards()[0]
+	if !s.Healthy() {
+		t.Fatal("shard not healthy after construction probe")
+	}
+
+	failReady.Store(true)
+	rt.probeAll()
+	rt.probeAll()
+	if !s.Healthy() {
+		t.Fatal("two failed probes demoted the shard; threshold is 3")
+	}
+	rt.probeAll()
+	if s.Healthy() {
+		t.Fatal("three consecutive failed probes did not demote the shard")
+	}
+
+	failReady.Store(false)
+	rt.probeAll()
+	if !s.Healthy() {
+		t.Fatal("one good probe did not restore the shard")
+	}
+
+	// The streak resets on success: two fails, a success, two more fails
+	// must never demote.
+	failReady.Store(true)
+	rt.probeAll()
+	rt.probeAll()
+	failReady.Store(false)
+	rt.probeAll()
+	failReady.Store(true)
+	rt.probeAll()
+	rt.probeAll()
+	if !s.Healthy() {
+		t.Fatal("non-consecutive probe failures demoted the shard")
+	}
+}
+
+// TestRingSetShardsConcurrentWithPick hammers SetShards against Pick/Order
+// from many goroutines — the live-resize data race the race detector must
+// bless. Every Pick must return a coherent candidate list drawn from one
+// of the two shard sets.
+func TestRingSetShardsConcurrentWithPick(t *testing.T) {
+	setA := mkShards("s1", "s2", "s3")
+	setB := mkShards("s1", "s2", "s3", "s4", "s5")
+	r := NewRing(setA, 0)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := fmt.Sprintf("digest-%d-%d", g, i)
+				cands, _ := r.Pick(d)
+				if len(cands) != 3 && len(cands) != 5 {
+					panic(fmt.Sprintf("Pick returned %d candidates mid-resize", len(cands)))
+				}
+				order := r.Order(d)
+				if len(order) != 3 && len(order) != 5 {
+					panic(fmt.Sprintf("Order returned %d shards mid-resize", len(order)))
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 500; i++ {
+		if i%2 == 0 {
+			r.SetShards(setB)
+		} else {
+			r.SetShards(setA)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -26,6 +26,10 @@ type Shard struct {
 
 	healthy  atomic.Bool
 	inflight atomic.Int64
+	// failStreak counts consecutive failed health probes; the router
+	// demotes only at Config.HealthFailThreshold so one dropped probe
+	// (flap) doesn't re-route the shard's key range.
+	failStreak atomic.Int32
 }
 
 // Healthy reports the shard's last observed /ready state.

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -35,10 +36,19 @@ type Config struct {
 	// shard carrying more than c × its fair share of in-flight requests is
 	// demoted to last resort for new digests.
 	LoadFactor float64
-	// HealthInterval is the /ready probe cadence (default 250ms).
+	// HealthInterval is the /ready probe cadence (default 250ms). Each
+	// round is jittered by up to ±25% so multiple routers fronting the
+	// same shards don't probe in lockstep.
 	HealthInterval time.Duration
 	// HealthTimeout bounds one probe (default 1s).
 	HealthTimeout time.Duration
+	// HealthFailThreshold is how many consecutive failed probes demote a
+	// healthy shard (default 3): one dropped probe — a GC pause, a
+	// transient timeout — must not re-route the shard's whole key range.
+	// Recovery stays immediate: a single good probe promotes. Transport
+	// failures on real proxied requests still demote at once; those are
+	// live traffic failing, not a probe flap.
+	HealthFailThreshold int
 	// HTTP is the client used for proxying and probing; nil uses a
 	// dedicated client with sane transport defaults.
 	HTTP *http.Client
@@ -53,6 +63,9 @@ func (c Config) withDefaults() Config {
 	if c.HealthTimeout <= 0 {
 		c.HealthTimeout = time.Second
 	}
+	if c.HealthFailThreshold <= 0 {
+		c.HealthFailThreshold = 3
+	}
 	if c.HTTP == nil {
 		c.HTTP = &http.Client{}
 	}
@@ -65,14 +78,19 @@ type Router struct {
 	cfg  Config
 	ring *Ring
 
-	routed       atomic.Uint64 // requests forwarded to a shard
-	failovers    atomic.Uint64 // attempts retried on the next shard
-	spills       atomic.Uint64 // requests placed off their home shard by bounded load
-	noShard      atomic.Uint64 // 503s for want of any healthy shard
-	pass429      atomic.Uint64 // shard 429s relayed verbatim
-	pass503      atomic.Uint64 // shard 503s relayed verbatim
-	perShard     map[string]*atomic.Uint64
-	perShardOnce sync.Mutex
+	routed    atomic.Uint64 // requests forwarded to a shard
+	failovers atomic.Uint64 // attempts retried on the next shard
+	spills    atomic.Uint64 // requests placed off their home shard by bounded load
+	noShard   atomic.Uint64 // 503s for want of any healthy shard
+	pass429   atomic.Uint64 // shard 429s relayed verbatim
+	pass503   atomic.Uint64 // shard 503s relayed verbatim
+	resizes   atomic.Uint64 // SetShards calls via the admin surface
+
+	// perShard is the routed-count per shard ID, registered lazily so
+	// shards added by a live SetShards count from their first request;
+	// counters for removed shards are retained (history, not state).
+	perShardMu sync.Mutex
+	perShard   map[string]*atomic.Uint64
 
 	quit      chan struct{}
 	wg        sync.WaitGroup
@@ -103,9 +121,6 @@ func New(cfg Config) (*Router, error) {
 		perShard: map[string]*atomic.Uint64{},
 		quit:     make(chan struct{}),
 	}
-	for _, s := range shards {
-		rt.perShard[s.ID] = &atomic.Uint64{}
-	}
 	rt.probeAll()
 	rt.wg.Add(1)
 	go rt.healthLoop()
@@ -129,34 +144,54 @@ func (rt *Router) logf(format string, args ...interface{}) {
 	}
 }
 
+// healthLoop re-probes every HealthInterval, jittered by up to ±25% per
+// round so a fleet of routers doesn't probe the shards in lockstep.
 func (rt *Router) healthLoop() {
 	defer rt.wg.Done()
-	tick := time.NewTicker(rt.cfg.HealthInterval)
-	defer tick.Stop()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
+		d := rt.cfg.HealthInterval
+		if half := int64(d) / 2; half > 0 {
+			d += time.Duration(rng.Int63n(half)) - d/4
+		}
+		timer := time.NewTimer(d)
 		select {
 		case <-rt.quit:
+			timer.Stop()
 			return
-		case <-tick.C:
+		case <-timer.C:
 			rt.probeAll()
 		}
 	}
 }
 
-// probeAll checks every shard's /ready concurrently and flips health bits.
+// probeAll checks every shard's /ready concurrently. Promotion is
+// immediate — one good probe and the shard is routable — but demotion is
+// flap-damped: only HealthFailThreshold consecutive failures take a
+// healthy shard (and with it its whole key range) out of the ring.
 func (rt *Router) probeAll() {
 	var wg sync.WaitGroup
 	for _, s := range rt.ring.Shards() {
 		wg.Add(1)
 		go func(s *Shard) {
 			defer wg.Done()
-			ok := rt.probe(s)
-			if s.setHealthy(ok) {
-				state := "down"
-				if ok {
-					state = "ready"
+			if rt.probe(s) {
+				s.failStreak.Store(0)
+				if s.setHealthy(true) {
+					rt.logf("shard %s is ready", s.URL)
 				}
-				rt.logf("shard %s is %s", s.URL, state)
+				return
+			}
+			streak := s.failStreak.Add(1)
+			if int(streak) < rt.cfg.HealthFailThreshold {
+				if s.Healthy() {
+					rt.logf("shard %s failed probe %d/%d (still routed)",
+						s.URL, streak, rt.cfg.HealthFailThreshold)
+				}
+				return
+			}
+			if s.setHealthy(false) {
+				rt.logf("shard %s is down after %d consecutive failed probes", s.URL, streak)
 			}
 		}(s)
 	}
@@ -190,7 +225,21 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/solve", rt.handleRouted)
 	mux.HandleFunc("/submit", rt.handleRouted)
 	mux.HandleFunc("/result", rt.handleResult)
+	mux.HandleFunc("/admin/shards", rt.handleAdminShards)
 	return mux
+}
+
+// shardCounter returns the routed-count for a shard ID, registering it
+// lazily — safe for shards added by a live SetShards after construction.
+func (rt *Router) shardCounter(id string) *atomic.Uint64 {
+	rt.perShardMu.Lock()
+	defer rt.perShardMu.Unlock()
+	c := rt.perShard[id]
+	if c == nil {
+		c = &atomic.Uint64{}
+		rt.perShard[id] = c
+	}
+	return c
 }
 
 // handleReady reports 503 until at least one shard is ready: a router with
@@ -268,9 +317,7 @@ func (rt *Router) handleRouted(w http.ResponseWriter, r *http.Request) {
 			rt.logf("failover %s -> %s (digest %.12s)", candidates[i-1].URL, s.URL, digest)
 		}
 		if done := rt.tryShard(ctx, w, r, s, body); done {
-			if n := rt.perShard[s.ID]; n != nil {
-				n.Add(1)
-			}
+			rt.shardCounter(s.ID).Add(1)
 			rt.routed.Add(1)
 			return
 		}
@@ -421,6 +468,8 @@ type Metrics struct {
 	Passthrough429 uint64 `json:"passthrough_429"`
 	Passthrough503 uint64 `json:"passthrough_503"`
 	NoShard503     uint64 `json:"no_shard_503"`
+	// Resizes counts live shard-set replacements via POST /admin/shards.
+	Resizes uint64 `json:"resizes"`
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -435,15 +484,12 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Passthrough429: rt.pass429.Load(),
 		Passthrough503: rt.pass503.Load(),
 		NoShard503:     rt.noShard.Load(),
+		Resizes:        rt.resizes.Load(),
 	}
 	for _, s := range rt.ring.Shards() {
-		var routed uint64
-		if n := rt.perShard[s.ID]; n != nil {
-			routed = n.Load()
-		}
 		m.Shards = append(m.Shards, ShardMetrics{
 			ID: s.ID, URL: s.URL, Healthy: s.Healthy(),
-			Inflight: s.Inflight(), Routed: routed,
+			Inflight: s.Inflight(), Routed: rt.shardCounter(s.ID).Load(),
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
